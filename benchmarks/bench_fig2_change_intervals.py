@@ -1,0 +1,71 @@
+"""Figure 2 — fraction of pages with a given average change interval.
+
+Paper findings being reproduced:
+* more than 20% of all pages changed at (almost) every daily visit;
+* more than 40% of com pages changed every day, under 10% elsewhere;
+* more than half of the edu and gov pages did not change during the whole
+  four-month experiment;
+* the crude overall average change interval is about four months.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_bar_chart, format_table
+from repro.experiment.change_interval import (
+    PAPER_FIGURE2_OVERALL,
+    analyze_change_intervals,
+)
+
+
+def test_fig2a_overall_change_intervals(benchmark, bench_observation_log):
+    """Figure 2(a): change-interval histogram over all domains."""
+    analysis = benchmark.pedantic(
+        lambda: analyze_change_intervals(bench_observation_log),
+        rounds=1,
+        iterations=1,
+    )
+    measured = analysis.overall_fractions()
+    rows = [
+        (label, f"{PAPER_FIGURE2_OVERALL[label]:.2f}", f"{measured[label]:.2f}")
+        for label in measured
+    ]
+    print()
+    print(format_table(["interval bucket", "paper (Fig 2a)", "measured"], rows,
+                       title="Figure 2(a): fraction of pages per change-interval bucket"))
+    print(format_bar_chart(measured, title="measured histogram"))
+    print(f"crude mean change interval: paper ~120 days, "
+          f"measured {analysis.mean_interval_estimate_days:.0f} days")
+
+    assert measured["<=1day"] > 0.15, "a large share of pages changes every visit"
+
+
+def test_fig2b_change_intervals_by_domain(benchmark, bench_observation_log):
+    """Figure 2(b): change-interval histograms per domain."""
+    analysis = benchmark.pedantic(
+        lambda: analyze_change_intervals(bench_observation_log),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    rows = []
+    for domain in ("com", "netorg", "edu", "gov"):
+        fractions = analysis.domain_fractions(domain)
+        rows.append(
+            (
+                domain,
+                f"{fractions['<=1day']:.2f}",
+                f"{fractions['>4months']:.2f}",
+            )
+        )
+    print(format_table(
+        ["domain", "changed every day", "never changed (4 months)"], rows,
+        title="Figure 2(b): per-domain change behaviour "
+              "(paper: com > 0.40 daily; edu/gov > 0.50 static)"))
+
+    com = analysis.domain_fractions("com")
+    gov = analysis.domain_fractions("gov")
+    edu = analysis.domain_fractions("edu")
+    assert com["<=1day"] > 0.3
+    assert gov["<=1day"] < 0.1
+    assert edu[">4months"] > 0.4
+    assert gov[">4months"] > 0.4

@@ -1,0 +1,72 @@
+"""Figure 7 — freshness evolution of a batch-mode vs. a steady crawler.
+
+Paper findings being reproduced:
+* the batch-mode crawler's freshness rises during each crawl and decays
+  exponentially while the crawler is idle (a saw-tooth);
+* the steady crawler's freshness is stable over time;
+* both have the same time-averaged freshness when they revisit pages at the
+  same average speed.
+
+The benchmark produces both the analytic trajectories and a Monte-Carlo
+simulation of the same policies and checks they agree.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_series, format_table
+from repro.freshness.analytic import freshness_trajectory, time_averaged_freshness
+from repro.simulation.crawler_sim import simulate_crawl_policy
+from repro.simulation.scenarios import figure7_change_rate, figure7_policies
+
+
+def test_fig7_trajectories_and_time_average(benchmark):
+    """Figure 7(a)/(b): trajectories plus the equal-time-average claim."""
+    rate = figure7_change_rate()
+    policies = figure7_policies()
+
+    def run():
+        analytic = {
+            name: freshness_trajectory(policy, rate, duration_days=90.0, n_points=90)
+            for name, policy in policies.items()
+        }
+        simulated = {
+            name: simulate_crawl_policy([rate] * 300, policy, n_cycles=6, seed=7)
+            for name, policy in policies.items()
+        }
+        return analytic, simulated
+
+    analytic, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    for name in policies:
+        times, values = analytic[name]
+        print(format_series(times, values, x_label="day", y_label="freshness",
+                            title=f"Figure 7 ({name}) analytic trajectory",
+                            max_points=12))
+
+    rows = []
+    for name, policy in policies.items():
+        rows.append(
+            (
+                name,
+                f"{time_averaged_freshness(policy, rate):.3f}",
+                f"{simulated[name].mean_freshness:.3f}",
+            )
+        )
+    print(format_table(
+        ["crawler", "analytic mean freshness", "simulated mean freshness"], rows,
+        title="Figure 7: batch and steady crawlers have equal time-averaged freshness",
+    ))
+
+    batch_mean = time_averaged_freshness(policies["batch-mode"], rate)
+    steady_mean = time_averaged_freshness(policies["steady"], rate)
+    assert batch_mean == steady_mean
+    # Simulation agrees with the analytic time averages.
+    for name, policy in policies.items():
+        assert abs(simulated[name].mean_freshness
+                   - time_averaged_freshness(policy, rate)) < 0.05
+    # Saw-tooth vs. flat: the batch trajectory oscillates, the steady one not.
+    batch_values = analytic["batch-mode"][1]
+    steady_values = analytic["steady"][1]
+    assert max(batch_values) - min(batch_values) > 0.2
+    assert max(steady_values) - min(steady_values) < 1e-9

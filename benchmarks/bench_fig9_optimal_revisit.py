@@ -1,0 +1,63 @@
+"""Figure 9 — change frequency of a page vs. its optimal revisit frequency.
+
+The paper's counter-intuitive result (from [CGM99b]): the freshness-optimal
+revisit frequency is NOT proportional to the change frequency. It rises for
+slowly changing pages, peaks, and then *decreases* for pages that change too
+often — those pages go stale immediately no matter what, so bandwidth is
+better spent elsewhere. The paper's two-page example (p1 changes daily, p2
+every second, one fetch per day available) is also reproduced.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_series, format_table
+from repro.freshness.optimal_allocation import (
+    optimal_frequency_curve,
+    optimal_revisit_frequencies,
+)
+
+
+def test_fig9_optimal_revisit_curve(benchmark):
+    """Figure 9: the f(lambda) curve is unimodal (rises then falls)."""
+    rates = [0.002 * (1.45 ** i) for i in range(36)]
+
+    def run():
+        return optimal_frequency_curve(rates, budget=len(rates) / 20.0)
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series(rates, curve, x_label="change rate (1/day)",
+                        y_label="optimal revisit frequency (1/day)",
+                        title="Figure 9: optimal revisit frequency vs change frequency",
+                        max_points=18))
+    peak_index = curve.index(max(curve))
+    print(f"peak at change rate {rates[peak_index]:.3f}/day; "
+          f"frequency falls to {curve[-1]:.4f}/day for the fastest pages")
+
+    # Shape: rises to an interior peak, then falls toward zero.
+    assert 0 < peak_index < len(curve) - 1
+    assert all(curve[i] <= curve[i + 1] + 1e-9 for i in range(peak_index))
+    assert all(curve[i] >= curve[i + 1] - 1e-9 for i in range(peak_index, len(curve) - 1))
+    assert curve[-1] < 0.5 * max(curve)
+
+
+def test_fig9_two_page_example(benchmark):
+    """Section 4's example: visit the daily-changing page, not the per-second one."""
+
+    def run():
+        seconds_per_day = 86400.0
+        rates = [1.0, seconds_per_day]
+        return optimal_revisit_frequencies(rates, budget=1.0)
+
+    frequencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["page", "change rate", "optimal visits/day"],
+        [
+            ("p1 (changes every day)", "1/day", f"{frequencies[0]:.3f}"),
+            ("p2 (changes every second)", "86400/day", f"{frequencies[1]:.6f}"),
+        ],
+        title="Paper's two-page example: it is better to visit p1 than p2",
+    ))
+    assert frequencies[0] > 0.99
+    assert frequencies[1] < 0.01

@@ -1,0 +1,96 @@
+"""Table 2 — freshness of the collection for the four design-choice combinations.
+
+The paper's setting: every page changes with a four-month mean interval, the
+crawler revisits every page once a month, and the batch-mode crawler does
+all its crawling in the first week of the month. Paper values:
+
+    steady / in-place   0.88        batch / in-place   0.88
+    steady / shadowing  0.77        batch / shadowing  0.86
+
+plus the sensitivity example (pages change monthly, two-week batch crawl):
+in-place 0.63 vs shadowing 0.50.
+
+The benchmark reports both the closed-form values and a Monte-Carlo
+simulation of the same policies.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.freshness.analytic import time_averaged_freshness
+from repro.simulation.crawler_sim import simulate_crawl_policy
+from repro.simulation.scenarios import (
+    PAPER_SENSITIVITY_FRESHNESS,
+    PAPER_TABLE2_FRESHNESS,
+    paper_table2_policies,
+    sensitivity_example_policies,
+    sensitivity_scenario_rate,
+    table2_scenario_rate,
+)
+
+
+def test_table2_policy_freshness(benchmark):
+    """Table 2: freshness for steady/batch x in-place/shadowing."""
+    rate = table2_scenario_rate()
+    policies = paper_table2_policies()
+
+    def run():
+        analytic = {
+            name: time_averaged_freshness(policy, rate)
+            for name, policy in policies.items()
+        }
+        simulated = {
+            name: simulate_crawl_policy([rate] * 500, policy, n_cycles=8, seed=21)
+            for name, policy in policies.items()
+        }
+        return analytic, simulated
+
+    analytic, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            f"{PAPER_TABLE2_FRESHNESS[name]:.2f}",
+            f"{analytic[name]:.3f}",
+            f"{simulated[name].mean_freshness:.3f}",
+        )
+        for name in policies
+    ]
+    print()
+    print(format_table(
+        ["policy", "paper (Table 2)", "analytic", "simulated"], rows,
+        title="Table 2: expected freshness of the current collection",
+    ))
+
+    for name in policies:
+        assert analytic[name] == abs(analytic[name])
+        assert abs(analytic[name] - PAPER_TABLE2_FRESHNESS[name]) < 0.02
+        assert abs(simulated[name].mean_freshness - analytic[name]) < 0.04
+    # Orderings the paper draws conclusions from.
+    assert analytic["steady / in-place"] == analytic["batch / in-place"]
+    assert analytic["steady / shadowing"] < analytic["batch / shadowing"]
+
+
+def test_table2_sensitivity_example(benchmark):
+    """Section 4 sensitivity example: monthly changes, two-week batch crawl."""
+    rate = sensitivity_scenario_rate()
+    policies = sensitivity_example_policies()
+
+    def run():
+        return {
+            name: time_averaged_freshness(policy, rate)
+            for name, policy in policies.items()
+        }
+
+    analytic = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (name, f"{PAPER_SENSITIVITY_FRESHNESS[name]:.2f}", f"{analytic[name]:.3f}")
+        for name in policies
+    ]
+    print()
+    print(format_table(
+        ["policy", "paper", "analytic"], rows,
+        title="Section 4 sensitivity example (dynamic pages favour in-place updates)",
+    ))
+    for name in policies:
+        assert abs(analytic[name] - PAPER_SENSITIVITY_FRESHNESS[name]) < 0.01
+    assert analytic["batch / in-place"] > analytic["batch / shadowing"]

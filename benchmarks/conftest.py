@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures. They share
+one synthetic web and one completed monitoring run (both session scoped), so
+each individual benchmark measures the analysis it is named after rather
+than the cost of rebuilding the substrate.
+
+The benchmarks print a paper-vs-measured comparison; absolute agreement is
+not expected (the substrate is a calibrated simulator, not the 1999 web),
+but the shape — orderings, crossovers, who wins — should match. The recorded
+outcome of a full run is kept in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiment.monitor import ActiveMonitor, ObservationLog
+from repro.simweb.generator import WebGeneratorConfig, generate_web
+from repro.simweb.web import SimulatedWeb
+
+#: Scale of the benchmark web. Larger than the unit-test web so the figure
+#: statistics are smoother, still small enough to run in seconds.
+BENCH_WEB_CONFIG = WebGeneratorConfig(
+    site_scale=0.1,
+    pages_per_site=40,
+    horizon_days=127.0,
+    new_page_fraction=0.25,
+    seed=2026,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_web() -> SimulatedWeb:
+    """The synthetic web shared by all benchmarks."""
+    return generate_web(BENCH_WEB_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_observation_log(bench_web: SimulatedWeb) -> ObservationLog:
+    """A completed 127-day monitoring run over the benchmark web."""
+    monitor = ActiveMonitor(bench_web)
+    return monitor.run(start_day=0, end_day=int(bench_web.horizon_days) - 1)

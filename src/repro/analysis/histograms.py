@@ -1,0 +1,159 @@
+"""Bucketed histograms matching the paper's figure axes.
+
+The paper buckets the average change interval of a page (Figure 2) into
+
+    <= 1 day, <= 1 week, <= 1 month, <= 4 months, > 4 months
+
+and the visible lifespan of a page (Figure 4) into
+
+    <= 1 week, <= 1 month, <= 4 months, > 4 months.
+
+This module provides those bucket definitions (in days) and a small
+``BucketedHistogram`` helper that turns raw per-page values into the
+fraction-per-bucket representation used throughout the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: Number of days the paper uses for one month (the monitoring experiment ran
+#: from February 17th to June 24th 1999, roughly four 30-day months).
+DAYS_PER_MONTH = 30.0
+
+#: Number of days in the "4 months" horizon of the experiment.
+DAYS_PER_4_MONTHS = 4 * DAYS_PER_MONTH
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A half-open interval ``(lower, upper]`` measured in days.
+
+    ``lower`` may be 0 and ``upper`` may be ``float('inf')`` for the
+    open-ended buckets at either extreme of the histograms.
+    """
+
+    label: str
+    lower: float
+    upper: float
+
+    def contains(self, value: float) -> bool:
+        """Return True when ``value`` falls in this bucket."""
+        return self.lower < value <= self.upper
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+#: Buckets of the average change interval used by Figure 2.
+CHANGE_INTERVAL_BUCKETS: Sequence[Bucket] = (
+    Bucket("<=1day", 0.0, 1.0),
+    Bucket(">1day,<=1week", 1.0, 7.0),
+    Bucket(">1week,<=1month", 7.0, DAYS_PER_MONTH),
+    Bucket(">1month,<=4months", DAYS_PER_MONTH, DAYS_PER_4_MONTHS),
+    Bucket(">4months", DAYS_PER_4_MONTHS, float("inf")),
+)
+
+#: Buckets of the visible lifespan used by Figure 4.
+LIFESPAN_BUCKETS: Sequence[Bucket] = (
+    Bucket("<=1week", 0.0, 7.0),
+    Bucket(">1week,<=1month", 7.0, DAYS_PER_MONTH),
+    Bucket(">1month,<=4months", DAYS_PER_MONTH, DAYS_PER_4_MONTHS),
+    Bucket(">4months", DAYS_PER_4_MONTHS, float("inf")),
+)
+
+
+class BucketedHistogram:
+    """Histogram over a fixed sequence of :class:`Bucket` intervals.
+
+    The histogram counts observations per bucket and exposes the fractions
+    that the paper's bar charts plot. Values that fall below the first
+    bucket's lower bound are counted in the first bucket (the paper cannot
+    observe intervals shorter than its one-day sampling granularity, so the
+    first bucket is effectively "at most one day").
+    """
+
+    def __init__(self, buckets: Sequence[Bucket]) -> None:
+        if not buckets:
+            raise ValueError("a histogram needs at least one bucket")
+        self._buckets: List[Bucket] = list(buckets)
+        self._counts: List[int] = [0] * len(self._buckets)
+        self._total = 0
+
+    @property
+    def buckets(self) -> Sequence[Bucket]:
+        """The bucket definitions, in order."""
+        return tuple(self._buckets)
+
+    @property
+    def total(self) -> int:
+        """Total number of observations added."""
+        return self._total
+
+    def add(self, value: float) -> None:
+        """Add a single observation (in days)."""
+        self._counts[self._bucket_index(value)] += 1
+        self._total += 1
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Add every observation from ``values``."""
+        for value in values:
+            self.add(value)
+
+    def counts(self) -> List[int]:
+        """Raw counts per bucket, in bucket order."""
+        return list(self._counts)
+
+    def fractions(self) -> List[float]:
+        """Fraction of observations per bucket (all zeros when empty)."""
+        if self._total == 0:
+            return [0.0] * len(self._buckets)
+        return [count / self._total for count in self._counts]
+
+    def labelled_fractions(self) -> Dict[str, float]:
+        """Mapping from bucket label to fraction of observations."""
+        return dict(zip((b.label for b in self._buckets), self.fractions()))
+
+    def fraction_for(self, label: str) -> float:
+        """Fraction of observations in the bucket named ``label``."""
+        for bucket, fraction in zip(self._buckets, self.fractions()):
+            if bucket.label == label:
+                return fraction
+        raise KeyError(f"no bucket labelled {label!r}")
+
+    def merge(self, other: "BucketedHistogram") -> "BucketedHistogram":
+        """Return a new histogram containing the counts of both operands.
+
+        Both histograms must use identical bucket definitions.
+        """
+        if self.buckets != other.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        merged = BucketedHistogram(self._buckets)
+        merged._counts = [a + b for a, b in zip(self._counts, other._counts)]
+        merged._total = self._total + other._total
+        return merged
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self._buckets[0].upper:
+            return 0
+        for index, bucket in enumerate(self._buckets):
+            if bucket.contains(value):
+                return index
+        return len(self._buckets) - 1
+
+
+def change_interval_histogram(values: Optional[Iterable[float]] = None) -> BucketedHistogram:
+    """Create a Figure 2 style histogram, optionally pre-filled with ``values``."""
+    histogram = BucketedHistogram(CHANGE_INTERVAL_BUCKETS)
+    if values is not None:
+        histogram.add_many(values)
+    return histogram
+
+
+def lifespan_histogram(values: Optional[Iterable[float]] = None) -> BucketedHistogram:
+    """Create a Figure 4 style histogram, optionally pre-filled with ``values``."""
+    histogram = BucketedHistogram(LIFESPAN_BUCKETS)
+    if values is not None:
+        histogram.add_many(values)
+    return histogram

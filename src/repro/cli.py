@@ -1,0 +1,210 @@
+"""Command-line interface.
+
+The CLI exposes the main workflows of the reproduction so that they can be
+run without writing Python:
+
+``python -m repro web-stats``
+    Generate a synthetic web and print its calibration statistics.
+``python -m repro run-experiment``
+    Run the Sections 2-3 monitoring experiment and print the Figure 2/4/5
+    style analyses.
+``python -m repro run-crawler``
+    Run the incremental crawler (or the periodic baseline) against a
+    synthetic web and print freshness/quality.
+``python -m repro compare-policies``
+    Print the Table 2 design-choice comparison and the revisit-policy gains.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis.report import format_bar_chart, format_table
+from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
+from repro.core.periodic_crawler import PeriodicCrawler, PeriodicCrawlerConfig
+from repro.experiment.change_interval import analyze_change_intervals
+from repro.experiment.lifespan_analysis import analyze_lifespans
+from repro.experiment.monitor import ActiveMonitor
+from repro.experiment.survival import analyze_survival
+from repro.freshness.analytic import time_averaged_freshness
+from repro.simulation.scenarios import (
+    PAPER_TABLE2_FRESHNESS,
+    paper_table2_policies,
+    table2_scenario_rate,
+)
+from repro.simweb.generator import WebGeneratorConfig, generate_web
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Cho & Garcia-Molina, VLDB 2000 "
+                    "(incremental crawler and web-evolution study).",
+    )
+    parser.add_argument("--seed", type=int, default=17, help="random seed")
+    parser.add_argument(
+        "--site-scale", type=float, default=0.05,
+        help="multiplier on the paper's per-domain site counts (1.0 = 270 sites)",
+    )
+    parser.add_argument(
+        "--pages-per-site", type=int, default=30,
+        help="pages initially present at each site",
+    )
+    parser.add_argument(
+        "--horizon-days", type=float, default=127.0,
+        help="virtual-time horizon of the synthetic web",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("web-stats", help="generate a synthetic web and describe it")
+
+    experiment = subparsers.add_parser(
+        "run-experiment", help="run the Sections 2-3 monitoring experiment"
+    )
+    experiment.add_argument(
+        "--days", type=int, default=None,
+        help="number of days to monitor (default: the full horizon)",
+    )
+
+    crawler = subparsers.add_parser(
+        "run-crawler", help="run a crawler against a synthetic web"
+    )
+    crawler.add_argument(
+        "--mode", choices=("incremental", "periodic"), default="incremental"
+    )
+    crawler.add_argument("--capacity", type=int, default=200)
+    crawler.add_argument("--budget", type=float, default=500.0,
+                         help="page fetches per virtual day")
+    crawler.add_argument("--duration", type=float, default=45.0,
+                         help="virtual days to run")
+    crawler.add_argument(
+        "--revisit-policy", choices=("uniform", "proportional", "optimal"),
+        default="optimal",
+    )
+    crawler.add_argument("--estimator", choices=("ep", "eb"), default="ep")
+    crawler.add_argument("--cycle-days", type=float, default=10.0,
+                         help="cycle length of the periodic crawler")
+
+    subparsers.add_parser(
+        "compare-policies", help="print the Table 2 design-choice comparison"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    web_config = WebGeneratorConfig(
+        site_scale=args.site_scale,
+        pages_per_site=args.pages_per_site,
+        horizon_days=args.horizon_days,
+        seed=args.seed,
+    )
+    if args.command == "web-stats":
+        return _cmd_web_stats(web_config)
+    if args.command == "run-experiment":
+        return _cmd_run_experiment(web_config, args)
+    if args.command == "run-crawler":
+        return _cmd_run_crawler(web_config, args)
+    if args.command == "compare-policies":
+        return _cmd_compare_policies()
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+# --------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------- #
+def _cmd_web_stats(web_config: WebGeneratorConfig) -> int:
+    web = generate_web(web_config)
+    rows = [
+        ("sites", web.n_sites),
+        ("pages", web.n_pages),
+        ("mean change rate (changes/day)", f"{web.mean_change_rate():.2f}"),
+    ]
+    for domain in web.domains():
+        sites = web.sites_in_domain(domain)
+        rows.append((f"sites in .{domain}", len(sites)))
+    print(format_table(["property", "value"], rows, title="synthetic web"))
+    return 0
+
+
+def _cmd_run_experiment(web_config: WebGeneratorConfig, args: argparse.Namespace) -> int:
+    web = generate_web(web_config)
+    end_day = (args.days - 1) if args.days else int(web.horizon_days) - 1
+    log = ActiveMonitor(web).run(start_day=0, end_day=end_day)
+    print(f"monitored {log.n_pages} pages for {log.duration_days} days\n")
+
+    change = analyze_change_intervals(log)
+    print(format_bar_chart(change.overall_fractions(),
+                           title="Figure 2(a): average change interval"))
+    lifespan = analyze_lifespans(log)
+    print()
+    print(format_bar_chart(lifespan.method1_overall.labelled_fractions(),
+                           title="Figure 4(a): visible lifespan (Method 1)"))
+    survival = analyze_survival(log)
+    print()
+    rows = [
+        (domain, "not reached" if day is None else f"{day:.0f}")
+        for domain, day in survival.half_change_days().items()
+    ]
+    print(format_table(["domain", "days to 50% change"], rows, title="Figure 5"))
+    return 0
+
+
+def _cmd_run_crawler(web_config: WebGeneratorConfig, args: argparse.Namespace) -> int:
+    web = generate_web(web_config)
+    if args.mode == "incremental":
+        crawler = IncrementalCrawler(
+            web,
+            IncrementalCrawlerConfig(
+                collection_capacity=args.capacity,
+                crawl_budget_per_day=args.budget,
+                revisit_policy=args.revisit_policy,
+                estimator=args.estimator,
+                measurement_interval_days=1.0,
+            ),
+        )
+        result = crawler.run(args.duration)
+        collection_size = len(crawler.collection.current_records())
+    else:
+        crawler = PeriodicCrawler(
+            web,
+            PeriodicCrawlerConfig(
+                collection_capacity=args.capacity,
+                crawl_budget_per_day=args.budget,
+                cycle_days=args.cycle_days,
+                measurement_interval_days=1.0,
+            ),
+        )
+        result = crawler.run(args.duration)
+        collection_size = len(crawler.collection.current_records())
+    rows = [
+        ("mode", args.mode),
+        ("pages fetched", result.pages_crawled),
+        ("collection size", collection_size),
+        ("mean freshness", f"{result.mean_freshness():.3f}"),
+        ("final quality", f"{result.final_quality():.3f}"),
+    ]
+    print(format_table(["metric", "value"], rows, title="crawl summary"))
+    return 0
+
+
+def _cmd_compare_policies() -> int:
+    rate = table2_scenario_rate()
+    rows = []
+    for name, policy in paper_table2_policies().items():
+        rows.append(
+            (name, f"{PAPER_TABLE2_FRESHNESS[name]:.2f}",
+             f"{time_averaged_freshness(policy, rate):.3f}")
+        )
+    print(format_table(["policy", "paper (Table 2)", "this reproduction"], rows,
+                       title="Table 2: freshness of the current collection"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

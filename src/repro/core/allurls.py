@@ -1,0 +1,113 @@
+"""AllUrls: the registry of every URL the crawler has discovered.
+
+Algorithm 5.1 keeps a set ``AllUrls`` of all URLs known to the crawler; the
+architecture of Figure 12 has the CrawlModule forward newly extracted URLs
+into it and the RankingModule scan it when making the refinement decision.
+
+Besides membership, the registry tracks, per URL, when it was discovered and
+which collected pages link to it. The in-link information is what lets the
+RankingModule estimate the importance of pages it has not collected yet
+(footnote 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+
+@dataclass
+class UrlInfo:
+    """What the crawler knows about a discovered URL.
+
+    Attributes:
+        url: The URL.
+        discovered_at: Virtual time the URL was first seen.
+        inlinks: Collected pages known to link to this URL.
+        last_failed_at: Virtual time of the most recent failed fetch
+            (``None`` when the URL has never failed); used to avoid
+            rescheduling URLs that have disappeared.
+    """
+
+    url: str
+    discovered_at: float
+    inlinks: Set[str] = field(default_factory=set)
+    last_failed_at: Optional[float] = None
+
+    @property
+    def inlink_count(self) -> int:
+        """Number of known referring pages."""
+        return len(self.inlinks)
+
+
+class AllUrls:
+    """Registry of all discovered URLs with their in-link evidence."""
+
+    def __init__(self) -> None:
+        self._urls: Dict[str, UrlInfo] = {}
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._urls
+
+    def __len__(self) -> int:
+        return len(self._urls)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._urls)
+
+    def add(self, url: str, discovered_at: float) -> bool:
+        """Register a URL; returns True when it was new."""
+        if url in self._urls:
+            return False
+        self._urls[url] = UrlInfo(url=url, discovered_at=discovered_at)
+        return True
+
+    def add_many(self, urls: Iterable[str], discovered_at: float) -> int:
+        """Register several URLs; returns how many were new."""
+        return sum(1 for url in urls if self.add(url, discovered_at))
+
+    def record_link(self, source_url: str, target_url: str, discovered_at: float) -> None:
+        """Record that collected page ``source_url`` links to ``target_url``.
+
+        The target is registered if it was unknown.
+        """
+        self.add(target_url, discovered_at)
+        self._urls[target_url].inlinks.add(source_url)
+
+    def record_links(
+        self, source_url: str, target_urls: Iterable[str], discovered_at: float
+    ) -> None:
+        """Record every link of a freshly crawled page."""
+        for target_url in target_urls:
+            self.record_link(source_url, target_url, discovered_at)
+
+    def record_failure(self, url: str, at: float) -> None:
+        """Record a failed fetch (page missing or excluded)."""
+        info = self._urls.get(url)
+        if info is not None:
+            info.last_failed_at = at
+
+    def info(self, url: str) -> UrlInfo:
+        """The registry entry for ``url`` (raises ``KeyError`` when unknown)."""
+        return self._urls[url]
+
+    def get(self, url: str) -> Optional[UrlInfo]:
+        """The registry entry for ``url`` or ``None``."""
+        return self._urls.get(url)
+
+    def urls(self) -> List[str]:
+        """All known URLs."""
+        return list(self._urls.keys())
+
+    def candidates(self, exclude: Iterable[str]) -> List[UrlInfo]:
+        """Known URLs not in ``exclude`` (the refinement candidates).
+
+        URLs with a recorded fetch failure are omitted; they are known to
+        have disappeared and are not worth admitting into the collection.
+        """
+        excluded = set(exclude)
+        return [
+            info
+            for url, info in self._urls.items()
+            if url not in excluded and info.last_failed_at is None
+        ]

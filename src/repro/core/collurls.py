@@ -1,0 +1,100 @@
+"""CollUrls: the priority queue of collection URLs.
+
+Figure 12: "CollUrls is implemented as a priority-queue, where the URLs to
+be crawled early are placed in the front." The UpdateModule pops the head,
+crawls it and pushes it back with its next scheduled visit time; the
+RankingModule pushes newly admitted URLs to the very front so they are
+crawled immediately, and removes URLs it decides to drop from the
+collection.
+
+The implementation is a binary heap keyed by ``(scheduled_time, sequence)``
+with lazy deletion, so pushes, pops and removals are all logarithmic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+
+class CollUrls:
+    """Priority queue of URLs ordered by their scheduled visit time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, str]] = []
+        self._scheduled: Dict[str, Tuple[float, int]] = {}
+        self._counter = itertools.count()
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._scheduled
+
+    def __len__(self) -> int:
+        return len(self._scheduled)
+
+    def schedule(self, url: str, visit_time: float) -> None:
+        """Insert ``url`` with the given visit time (rescheduling if present).
+
+        Rescheduling replaces the previous entry; the old heap entry is
+        invalidated lazily.
+        """
+        sequence = next(self._counter)
+        self._scheduled[url] = (visit_time, sequence)
+        heapq.heappush(self._heap, (visit_time, sequence, url))
+
+    def schedule_front(self, url: str, now: float) -> None:
+        """Place ``url`` at the very front of the queue.
+
+        The RankingModule uses this for newly admitted pages: "The URL for
+        this new page is placed on the top of CollUrls, so that the
+        UpdateModule can crawl the page immediately."
+        """
+        head_time = self.peek_time()
+        front_time = now if head_time is None else min(now, head_time)
+        self.schedule(url, front_time - 1e-9)
+
+    def pop(self) -> Optional[Tuple[str, float]]:
+        """Remove and return ``(url, scheduled_time)`` of the earliest entry.
+
+        Returns ``None`` when the queue is empty.
+        """
+        while self._heap:
+            visit_time, sequence, url = heapq.heappop(self._heap)
+            current = self._scheduled.get(url)
+            if current is None or current != (visit_time, sequence):
+                continue
+            del self._scheduled[url]
+            return url, visit_time
+        return None
+
+    def peek(self) -> Optional[Tuple[str, float]]:
+        """The earliest ``(url, scheduled_time)`` without removing it."""
+        while self._heap:
+            visit_time, sequence, url = self._heap[0]
+            current = self._scheduled.get(url)
+            if current is None or current != (visit_time, sequence):
+                heapq.heappop(self._heap)
+                continue
+            return url, visit_time
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Scheduled time of the earliest entry (``None`` when empty)."""
+        head = self.peek()
+        return None if head is None else head[1]
+
+    def remove(self, url: str) -> bool:
+        """Drop ``url`` from the queue; returns False when it was not queued."""
+        if url not in self._scheduled:
+            return False
+        del self._scheduled[url]
+        return True
+
+    def scheduled_time(self, url: str) -> Optional[float]:
+        """The currently scheduled visit time of ``url`` (``None`` if absent)."""
+        entry = self._scheduled.get(url)
+        return None if entry is None else entry[0]
+
+    def urls(self) -> List[str]:
+        """All queued URLs (unordered)."""
+        return list(self._scheduled.keys())

@@ -1,0 +1,138 @@
+"""CrawlModule: fetch pages, store them, forward discovered URLs.
+
+Figure 12: "the CrawlModule crawls a page and saves/updates the page in the
+Collection, based on the request from the UpdateModule. Also, the
+CrawlModule extracts all links/URLs in the crawled page and forwards the
+URLs to AllUrls." Multiple CrawlModule instances may run in parallel in a
+production deployment; in the simulation a single instance is sufficient
+because fetch latency is charged on the virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.allurls import AllUrls
+from repro.fetch.fetcher import FetchResult, SimulatedFetcher
+from repro.storage.collection import Collection
+from repro.storage.records import PageRecord
+
+
+@dataclass(frozen=True)
+class CrawlOutcome:
+    """What happened when the CrawlModule processed one URL.
+
+    Attributes:
+        url: The crawled URL.
+        fetch: The raw fetch result.
+        stored: Whether a copy was stored (False for missing/excluded pages).
+        changed: For a re-fetch of a stored page, whether the checksum
+            differed from the stored copy; always True for first fetches
+            (the page is new to the collection).
+        was_new: Whether the page was not previously in the working
+            collection.
+        completed_at: Virtual time the crawl completed.
+    """
+
+    url: str
+    fetch: FetchResult
+    stored: bool
+    changed: bool
+    was_new: bool
+    completed_at: float
+
+
+class CrawlModule:
+    """Fetches pages on request and maintains the collection and AllUrls.
+
+    Args:
+        fetcher: The fetch substrate.
+        collection: The collection to store fetched copies in.
+        allurls: The discovered-URL registry to forward extracted links to.
+    """
+
+    def __init__(
+        self,
+        fetcher: SimulatedFetcher,
+        collection: Collection,
+        allurls: AllUrls,
+    ) -> None:
+        self._fetcher = fetcher
+        self._collection = collection
+        self._allurls = allurls
+        self.pages_fetched = 0
+        self.pages_failed = 0
+
+    @property
+    def collection(self) -> Collection:
+        """The collection this module stores pages into."""
+        return self._collection
+
+    def crawl(self, url: str, at: float) -> CrawlOutcome:
+        """Fetch ``url`` at virtual time ``at``, store it and forward links.
+
+        Args:
+            url: The URL to crawl.
+            at: Virtual time the crawl is issued.
+
+        Returns:
+            A :class:`CrawlOutcome` describing what happened.
+        """
+        result = self._fetcher.fetch(url, at=at)
+        if not result.ok:
+            self.pages_failed += 1
+            self._allurls.record_failure(url, at)
+            return CrawlOutcome(
+                url=url,
+                fetch=result,
+                stored=False,
+                changed=False,
+                was_new=self._collection.get_working(url) is None,
+                completed_at=result.completed_at,
+            )
+
+        self.pages_fetched += 1
+        self._allurls.add(url, discovered_at=result.completed_at)
+        self._allurls.record_links(url, result.outlinks, result.completed_at)
+
+        existing = self._collection.get_working(url)
+        if existing is None:
+            record = PageRecord(
+                url=url,
+                content=result.content,
+                checksum=result.checksum,
+                fetched_at=result.completed_at,
+                first_fetched_at=result.completed_at,
+                outlinks=tuple(result.outlinks),
+            )
+            self._collection.store(record)
+            return CrawlOutcome(
+                url=url,
+                fetch=result,
+                stored=True,
+                changed=True,
+                was_new=True,
+                completed_at=result.completed_at,
+            )
+
+        changed = existing.checksum != result.checksum
+        refreshed = existing.refreshed(
+            content=result.content,
+            checksum=result.checksum,
+            fetched_at=result.completed_at,
+            outlinks=result.outlinks,
+        )
+        self._collection.store(refreshed)
+        return CrawlOutcome(
+            url=url,
+            fetch=result,
+            stored=True,
+            changed=changed,
+            was_new=False,
+            completed_at=result.completed_at,
+        )
+
+    def discard(self, url: str) -> Optional[PageRecord]:
+        """Remove a page from the working collection (refinement decision)."""
+        return self._collection.discard(url)

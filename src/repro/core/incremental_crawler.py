@@ -1,0 +1,299 @@
+"""The incremental crawler: steady, in-place, variable-frequency.
+
+This class wires the Figure 12 architecture together on a virtual clock and
+event queue:
+
+* a recurring *crawl* event pops the next URL from CollUrls and processes it
+  through the UpdateModule (which calls the CrawlModule); the event period
+  is the reciprocal of the crawl budget, which makes the crawler *steady* —
+  pages are fetched at a constant, low peak rate;
+* a recurring *refinement* event runs the RankingModule scan, which
+  recomputes importance and replaces less important pages with more
+  important discoveries — deliberately far less often than the crawl event,
+  reflecting the paper's point that separating the update decision from the
+  (expensive) refinement decision is crucial for performance;
+* a recurring *measurement* event samples freshness (and optionally
+  quality) of the collection against the simulated-web oracle.
+
+The collection is updated in place, so newly fetched copies are visible to
+users immediately — the left-hand column of Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.allurls import AllUrls
+from repro.core.collurls import CollUrls
+from repro.core.crawl_module import CrawlModule
+from repro.core.quality import collection_quality, true_page_importance
+from repro.core.ranking_module import RankingModule, RankingModuleConfig
+from repro.core.update_module import UpdateModule, UpdateModuleConfig
+from repro.fetch.fetcher import SimulatedFetcher
+from repro.fetch.politeness import PolitenessPolicy
+from repro.freshness.policies import (
+    OptimalRevisitPolicy,
+    ProportionalRevisitPolicy,
+    RevisitPolicy,
+    UniformRevisitPolicy,
+)
+from repro.simulation.clock import VirtualClock
+from repro.simulation.events import EventQueue
+from repro.simulation.freshness_tracker import FreshnessTimeSeries, FreshnessTracker
+from repro.simweb.web import SimulatedWeb
+from repro.storage.collection import InPlaceCollection
+
+
+@dataclass(frozen=True)
+class IncrementalCrawlerConfig:
+    """Configuration of the incremental crawler.
+
+    Attributes:
+        collection_capacity: Target number of pages in the collection.
+        crawl_budget_per_day: Pages fetched per virtual day.
+        revisit_policy: ``"uniform"``, ``"proportional"`` or ``"optimal"``.
+        estimator: Change-frequency estimator, ``"ep"`` or ``"eb"``.
+        importance_metric: ``"pagerank"`` or ``"hits"``.
+        ranking_interval_days: How often the RankingModule scan runs.
+        reallocation_interval_days: How often revisit intervals are
+            recomputed from the latest rate estimates.
+        use_importance_in_scheduling: Let the revisit policy weight pages by
+            importance.
+        measurement_interval_days: How often freshness is sampled.
+        default_revisit_interval_days: Revisit interval for pages without a
+            change history yet.
+        track_quality: Also sample collection quality (needs a ground-truth
+            PageRank over the whole web, computed once at start-up).
+        use_politeness: Apply the per-site politeness delay to fetches.
+    """
+
+    collection_capacity: int = 500
+    crawl_budget_per_day: float = 2000.0
+    revisit_policy: str = "optimal"
+    estimator: str = "ep"
+    importance_metric: str = "pagerank"
+    ranking_interval_days: float = 5.0
+    reallocation_interval_days: float = 1.0
+    use_importance_in_scheduling: bool = False
+    measurement_interval_days: float = 0.5
+    default_revisit_interval_days: float = 7.0
+    track_quality: bool = True
+    use_politeness: bool = False
+
+    def __post_init__(self) -> None:
+        if self.collection_capacity < 1:
+            raise ValueError("collection_capacity must be at least 1")
+        if self.crawl_budget_per_day <= 0:
+            raise ValueError("crawl_budget_per_day must be positive")
+        if self.revisit_policy not in ("uniform", "proportional", "optimal"):
+            raise ValueError(
+                'revisit_policy must be "uniform", "proportional" or "optimal"'
+            )
+        if self.ranking_interval_days <= 0:
+            raise ValueError("ranking_interval_days must be positive")
+        if self.measurement_interval_days <= 0:
+            raise ValueError("measurement_interval_days must be positive")
+
+    def build_revisit_policy(self) -> RevisitPolicy:
+        """Instantiate the configured revisit policy."""
+        if self.revisit_policy == "uniform":
+            return UniformRevisitPolicy()
+        if self.revisit_policy == "proportional":
+            return ProportionalRevisitPolicy()
+        return OptimalRevisitPolicy(use_importance=self.use_importance_in_scheduling)
+
+
+@dataclass
+class CrawlRunResult:
+    """Outcome of a crawler run.
+
+    Attributes:
+        freshness: Sampled freshness time series of the current collection.
+        quality: Sampled collection-quality time series (empty when quality
+            tracking is disabled).
+        pages_crawled: Total successful fetches.
+        pages_failed: Fetches of pages that had disappeared (or were
+            excluded).
+        changes_detected: Re-fetches whose checksum differed.
+        pages_replaced: Collection pages displaced by the refinement
+            decision.
+        duration_days: Length of the run.
+    """
+
+    freshness: FreshnessTimeSeries
+    quality: List[float] = field(default_factory=list)
+    quality_times: List[float] = field(default_factory=list)
+    pages_crawled: int = 0
+    pages_failed: int = 0
+    changes_detected: int = 0
+    pages_replaced: int = 0
+    duration_days: float = 0.0
+
+    def mean_freshness(self) -> float:
+        """Time-averaged freshness over the run."""
+        return self.freshness.mean_freshness()
+
+    def final_quality(self) -> float:
+        """Last sampled collection quality (0 when not tracked)."""
+        return self.quality[-1] if self.quality else 0.0
+
+
+class IncrementalCrawler:
+    """The incremental crawler of Section 5, runnable against a synthetic web.
+
+    Args:
+        web: The synthetic web to crawl.
+        config: Crawler configuration.
+        seed_urls: Starting URLs; defaults to every site's root page.
+    """
+
+    def __init__(
+        self,
+        web: SimulatedWeb,
+        config: Optional[IncrementalCrawlerConfig] = None,
+        seed_urls: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._web = web
+        self._config = config if config is not None else IncrementalCrawlerConfig()
+        self._seeds = list(seed_urls) if seed_urls is not None else web.seed_urls()
+        if not self._seeds:
+            raise ValueError("the crawler needs at least one seed URL")
+
+        politeness = PolitenessPolicy() if self._config.use_politeness else None
+        self._fetcher = SimulatedFetcher(web, politeness=politeness)
+        self._collection = InPlaceCollection(capacity=self._config.collection_capacity)
+        self._allurls = AllUrls()
+        self._collurls = CollUrls()
+        self._crawl_module = CrawlModule(self._fetcher, self._collection, self._allurls)
+        self._update_module = UpdateModule(
+            self._collurls,
+            self._crawl_module,
+            UpdateModuleConfig(
+                crawl_budget_per_day=self._config.crawl_budget_per_day,
+                estimator=self._config.estimator,
+                default_interval_days=self._config.default_revisit_interval_days,
+                reallocation_interval_days=self._config.reallocation_interval_days,
+                use_importance=self._config.use_importance_in_scheduling,
+            ),
+            revisit_policy=self._config.build_revisit_policy(),
+        )
+        self._ranking_module = RankingModule(
+            self._allurls,
+            self._collurls,
+            self._collection,
+            self._crawl_module,
+            RankingModuleConfig(importance_metric=self._config.importance_metric),
+            capacity=self._config.collection_capacity,
+        )
+        self._true_importance: Optional[Dict[str, float]] = None
+
+    # ------------------------------------------------------------------ #
+    # Accessors (useful for tests and examples)
+    # ------------------------------------------------------------------ #
+    @property
+    def collection(self) -> InPlaceCollection:
+        """The crawler's collection."""
+        return self._collection
+
+    @property
+    def allurls(self) -> AllUrls:
+        """The discovered-URL registry."""
+        return self._allurls
+
+    @property
+    def collurls(self) -> CollUrls:
+        """The collection URL priority queue."""
+        return self._collurls
+
+    @property
+    def update_module(self) -> UpdateModule:
+        """The UpdateModule (exposes per-page rate estimates)."""
+        return self._update_module
+
+    @property
+    def ranking_module(self) -> RankingModule:
+        """The RankingModule (exposes refinement statistics)."""
+        return self._ranking_module
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def run(self, duration_days: float, start_time: float = 0.0) -> CrawlRunResult:
+        """Run the crawler for ``duration_days`` of virtual time.
+
+        Args:
+            duration_days: How long to run.
+            start_time: Virtual time at which the run starts.
+
+        Returns:
+            A :class:`CrawlRunResult` with freshness/quality series and
+            counters.
+        """
+        if duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        end_time = min(start_time + duration_days, self._web.horizon_days)
+
+        clock = VirtualClock(start_time)
+        queue = EventQueue(clock)
+        tracker = FreshnessTracker(
+            self._web,
+            self._collection,
+            denominator=self._config.collection_capacity,
+        )
+        result = CrawlRunResult(freshness=tracker.series, duration_days=duration_days)
+
+        self._bootstrap(start_time)
+
+        crawl_period = 1.0 / self._config.crawl_budget_per_day
+
+        def crawl_step(at: float) -> None:
+            self._update_module.process_next(at)
+            queue.schedule(at + crawl_period, crawl_step, label="crawl")
+
+        def ranking_step(at: float) -> None:
+            refinement = self._ranking_module.refine(at)
+            self._update_module.set_importance(refinement.importance)
+            queue.schedule(
+                at + self._config.ranking_interval_days, ranking_step, label="ranking"
+            )
+
+        def measure_step(at: float) -> None:
+            tracker.sample(at)
+            if self._config.track_quality:
+                self._sample_quality(result, at)
+            queue.schedule(
+                at + self._config.measurement_interval_days, measure_step, label="measure"
+            )
+
+        queue.schedule(start_time, crawl_step, label="crawl")
+        queue.schedule(start_time, ranking_step, label="ranking")
+        queue.schedule(start_time, measure_step, label="measure")
+        queue.run_until(end_time)
+
+        result.pages_crawled = self._crawl_module.pages_fetched
+        result.pages_failed = self._crawl_module.pages_failed
+        result.changes_detected = self._update_module.changes_detected
+        result.pages_replaced = self._ranking_module.pages_replaced
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _bootstrap(self, start_time: float) -> None:
+        """Seed AllUrls and CollUrls with the configured seed URLs."""
+        for offset, url in enumerate(self._seeds):
+            self._allurls.add(url, discovered_at=start_time)
+            if url not in self._collurls:
+                # Spread the seeds over the first crawl steps.
+                self._collurls.schedule(url, start_time + offset * 1e-6)
+
+    def _sample_quality(self, result: CrawlRunResult, at: float) -> None:
+        if self._true_importance is None:
+            self._true_importance = true_page_importance(self._web)
+        urls = [record.url for record in self._collection.current_records()]
+        quality = collection_quality(
+            urls, self._true_importance, capacity=self._config.collection_capacity
+        )
+        result.quality.append(quality)
+        result.quality_times.append(at)

@@ -1,0 +1,65 @@
+"""Collection quality metrics.
+
+The second goal of the incremental crawler (Section 5.1) is to "improve
+quality of the local collection by replacing less-important pages with more
+important ones". To evaluate that goal in the simulation, we compute a
+ground-truth importance for every page — PageRank over the *entire*
+synthetic web, which the crawler never sees — and score a collection by how
+much of the best attainable importance mass it captures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.ranking.pagerank import pagerank
+from repro.simweb.linkgraph import page_link_graph
+from repro.simweb.web import SimulatedWeb
+
+
+def true_page_importance(web: SimulatedWeb, damping: float = 0.85) -> Dict[str, float]:
+    """Ground-truth importance: PageRank over the whole synthetic web.
+
+    Args:
+        web: The synthetic web.
+        damping: PageRank damping factor.
+
+    Returns:
+        Mapping from URL to its true importance score.
+    """
+    graph = page_link_graph(list(web.pages()))
+    return pagerank(graph, damping=damping)
+
+
+def collection_quality(
+    collected_urls: Iterable[str],
+    importance: Dict[str, float],
+    capacity: Optional[int] = None,
+) -> float:
+    """How much of the attainable importance mass a collection captures.
+
+    Args:
+        collected_urls: URLs currently stored in the collection.
+        importance: Ground-truth importance of every URL (from
+            :func:`true_page_importance`).
+        capacity: Collection capacity; the denominator is the importance of
+            the best ``capacity`` pages. Defaults to the number of collected
+            URLs.
+
+    Returns:
+        A value in [0, 1]; 1 means the collection holds exactly the most
+        important pages it could hold.
+    """
+    urls = list(collected_urls)
+    if not urls:
+        return 0.0
+    if capacity is None:
+        capacity = len(urls)
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    achieved = sum(importance.get(url, 0.0) for url in urls)
+    best_scores = sorted(importance.values(), reverse=True)[:capacity]
+    attainable = sum(best_scores)
+    if attainable <= 0:
+        return 0.0
+    return min(1.0, achieved / attainable)

@@ -1,0 +1,205 @@
+"""RankingModule: keep the collection high-quality (the refinement decision).
+
+Figure 12: "The RankingModule constantly scans through AllUrls and the
+Collection to make the refinement decision. ... When a page not in CollUrls
+turns out to be more important than a page within CollUrls, the
+RankingModule schedules for replacement of the less-important page in
+CollUrls with the more-important page. The URL for this new page is placed
+on the top of CollUrls, so that the UpdateModule can crawl the page
+immediately. Also, the RankingModule discards the less-important page from
+the Collection to make space for the new page."
+
+Importance is measured with PageRank over the link structure captured in the
+collection (or HITS authority scores); candidate URLs that are not yet
+collected are ranked through the links pointing at them (footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allurls import AllUrls
+from repro.core.collurls import CollUrls
+from repro.core.crawl_module import CrawlModule
+from repro.ranking.hits import hits
+from repro.ranking.pagerank import pagerank
+from repro.storage.collection import Collection
+
+
+@dataclass(frozen=True)
+class RankingModuleConfig:
+    """Configuration of the RankingModule.
+
+    Attributes:
+        importance_metric: ``"pagerank"`` or ``"hits"`` (authority scores).
+        max_replacements_per_scan: Cap on how many collection pages a single
+            refinement scan may replace; keeps the scan's effect incremental.
+        replacement_margin: A candidate must beat the worst collected page's
+            importance by this relative margin to trigger a replacement;
+            avoids thrashing between near-equal pages.
+        damping: PageRank damping factor.
+    """
+
+    importance_metric: str = "pagerank"
+    max_replacements_per_scan: int = 10
+    replacement_margin: float = 0.10
+    damping: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.importance_metric not in ("pagerank", "hits"):
+            raise ValueError('importance_metric must be "pagerank" or "hits"')
+        if self.max_replacements_per_scan < 0:
+            raise ValueError("max_replacements_per_scan must be non-negative")
+        if self.replacement_margin < 0:
+            raise ValueError("replacement_margin must be non-negative")
+        if not 0.0 <= self.damping <= 1.0:
+            raise ValueError("damping must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Outcome of one refinement scan.
+
+    Attributes:
+        importance: Importance score of every ranked URL (collected pages
+            and candidates).
+        replacements: ``(discarded_url, admitted_url)`` pairs applied.
+        admitted: URLs newly admitted without displacing anything (possible
+            while the collection is below capacity).
+    """
+
+    importance: Dict[str, float]
+    replacements: Tuple[Tuple[str, str], ...]
+    admitted: Tuple[str, ...]
+
+
+class RankingModule:
+    """Scans AllUrls and the Collection and applies the refinement decision.
+
+    Args:
+        allurls: Registry of discovered URLs.
+        collurls: The collection URL priority queue.
+        collection: The collection being refined.
+        crawl_module: Used to discard replaced pages from the collection.
+        config: Module configuration.
+        capacity: Target number of pages in the collection; when ``None``
+            the collection's own capacity is used.
+    """
+
+    def __init__(
+        self,
+        allurls: AllUrls,
+        collurls: CollUrls,
+        collection: Collection,
+        crawl_module: CrawlModule,
+        config: Optional[RankingModuleConfig] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self._allurls = allurls
+        self._collurls = collurls
+        self._collection = collection
+        self._crawl_module = crawl_module
+        self._config = config if config is not None else RankingModuleConfig()
+        self._capacity = capacity if capacity is not None else collection.capacity
+        self.scans_completed = 0
+        self.pages_replaced = 0
+        self.pages_admitted = 0
+
+    # ------------------------------------------------------------------ #
+    # Refinement scan
+    # ------------------------------------------------------------------ #
+    def refine(self, at: float) -> RefinementResult:
+        """Run one refinement scan at virtual time ``at``.
+
+        Computes importance over the collection's link structure, updates
+        the stored importance of collected pages, admits candidate URLs
+        while capacity remains, and replaces the least important collected
+        pages with clearly more important candidates.
+        """
+        importance = self._compute_importance()
+        self._store_importance(importance)
+
+        collected_or_queued = set(self._collurls.urls())
+        for record in self._collection.working_records():
+            collected_or_queued.add(record.url)
+        candidates = self._allurls.candidates(exclude=collected_or_queued)
+        candidate_scores = sorted(
+            ((importance.get(info.url, 0.0), info.url) for info in candidates),
+            reverse=True,
+        )
+
+        admitted: List[str] = []
+        replacements: List[Tuple[str, str]] = []
+        for score, url in candidate_scores:
+            if len(replacements) >= self._config.max_replacements_per_scan:
+                break
+            if not self._at_capacity():
+                self._collurls.schedule_front(url, at)
+                admitted.append(url)
+                self.pages_admitted += 1
+                continue
+            victim = self._least_important_collected(importance)
+            if victim is None:
+                break
+            victim_url, victim_score = victim
+            if score <= victim_score * (1.0 + self._config.replacement_margin):
+                break
+            self._replace(victim_url, url, at)
+            replacements.append((victim_url, url))
+            self.pages_replaced += 1
+
+        self.scans_completed += 1
+        return RefinementResult(
+            importance=importance,
+            replacements=tuple(replacements),
+            admitted=tuple(admitted),
+        )
+
+    def importance_of_collection(self) -> Dict[str, float]:
+        """Latest stored importance of the collected pages."""
+        return {
+            record.url: record.importance
+            for record in self._collection.working_records()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _compute_importance(self) -> Dict[str, float]:
+        graph = {
+            record.url: tuple(record.outlinks)
+            for record in self._collection.working_records()
+        }
+        if not graph:
+            return {}
+        if self._config.importance_metric == "hits":
+            _hubs, authorities = hits(graph)
+            return authorities
+        return pagerank(graph, damping=self._config.damping)
+
+    def _store_importance(self, importance: Dict[str, float]) -> None:
+        for record in self._collection.working_records():
+            score = importance.get(record.url, 0.0)
+            self._collection.store(record.with_importance(score))
+
+    def _at_capacity(self) -> bool:
+        if self._capacity is None:
+            return False
+        in_collection = {record.url for record in self._collection.working_records()}
+        in_collection.update(self._collurls.urls())
+        return len(in_collection) >= self._capacity
+
+    def _least_important_collected(
+        self, importance: Dict[str, float]
+    ) -> Optional[Tuple[str, float]]:
+        records = self._collection.working_records()
+        if not records:
+            return None
+        worst = min(records, key=lambda r: (importance.get(r.url, 0.0), r.url))
+        return worst.url, importance.get(worst.url, 0.0)
+
+    def _replace(self, victim_url: str, new_url: str, at: float) -> None:
+        self._crawl_module.discard(victim_url)
+        self._collurls.remove(victim_url)
+        self._collurls.schedule_front(new_url, at)

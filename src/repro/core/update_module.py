@@ -1,0 +1,234 @@
+"""UpdateModule: keep the collection fresh (the update decision).
+
+Figure 12: "the UpdateModule maintains the Collection fresh (update
+decision). It constantly extracts the top entry from CollUrls, requests the
+CrawlModule to crawl the page, and puts the crawled URL back into CollUrls.
+The position of the crawled URL within CollUrls is determined by the page's
+estimated change frequency."
+
+Change frequencies are estimated from checksum-comparison histories with
+either the EP (Poisson) or EB (Bayesian class) estimator of Section 5.3, and
+the revisit schedule is produced by a pluggable
+:class:`~repro.freshness.policies.RevisitPolicy`, optionally weighted by
+page importance (the paper notes that highly important pages may deserve
+more frequent visits than their change rate alone would justify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.collurls import CollUrls
+from repro.core.crawl_module import CrawlModule, CrawlOutcome
+from repro.estimation.bayesian_estimator import BayesianClassEstimator
+from repro.estimation.change_history import ChangeHistory
+from repro.estimation.poisson_estimator import PoissonRateEstimator
+from repro.freshness.policies import RevisitPolicy, UniformRevisitPolicy
+
+
+@dataclass(frozen=True)
+class UpdateModuleConfig:
+    """Configuration of the UpdateModule.
+
+    Attributes:
+        crawl_budget_per_day: Total pages the crawler may fetch per day; the
+            revisit policy spreads this budget over the collection.
+        estimator: ``"ep"`` (Poisson rate estimator) or ``"eb"`` (Bayesian
+            frequency classes).
+        default_interval_days: Revisit interval assumed for a page before
+            any change history exists.
+        reallocation_interval_days: How often the revisit intervals are
+            recomputed from the latest rate estimates.
+        history_window_days: Trailing window of change history kept per page
+            (the paper suggests roughly six months).
+        use_importance: Whether the revisit policy may weight pages by their
+            importance score.
+    """
+
+    crawl_budget_per_day: float = 1000.0
+    estimator: str = "ep"
+    default_interval_days: float = 7.0
+    reallocation_interval_days: float = 1.0
+    history_window_days: Optional[float] = 180.0
+    use_importance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.crawl_budget_per_day <= 0:
+            raise ValueError("crawl_budget_per_day must be positive")
+        if self.estimator not in ("ep", "eb"):
+            raise ValueError('estimator must be "ep" or "eb"')
+        if self.default_interval_days <= 0:
+            raise ValueError("default_interval_days must be positive")
+        if self.reallocation_interval_days <= 0:
+            raise ValueError("reallocation_interval_days must be positive")
+
+
+class UpdateModule:
+    """Schedules revisits and maintains per-page change statistics.
+
+    Args:
+        collurls: The collection URL priority queue.
+        crawl_module: The CrawlModule used to fetch pages.
+        config: Module configuration.
+        revisit_policy: Policy mapping estimated rates to revisit intervals;
+            defaults to the uniform (fixed-frequency) policy.
+    """
+
+    def __init__(
+        self,
+        collurls: CollUrls,
+        crawl_module: CrawlModule,
+        config: UpdateModuleConfig,
+        revisit_policy: Optional[RevisitPolicy] = None,
+    ) -> None:
+        self._collurls = collurls
+        self._crawl_module = crawl_module
+        self._config = config
+        self._policy = revisit_policy if revisit_policy is not None else UniformRevisitPolicy()
+        self._histories: Dict[str, ChangeHistory] = {}
+        self._eb_estimators: Dict[str, BayesianClassEstimator] = {}
+        self._ep_estimator = PoissonRateEstimator()
+        self._rate_estimates: Dict[str, float] = {}
+        self._intervals: Dict[str, float] = {}
+        self._importance: Dict[str, float] = {}
+        self._last_reallocation: Optional[float] = None
+        self.pages_processed = 0
+        self.changes_detected = 0
+
+    # ------------------------------------------------------------------ #
+    # Main loop step
+    # ------------------------------------------------------------------ #
+    def process_next(self, at: float) -> Optional[CrawlOutcome]:
+        """Pop the head of CollUrls, crawl it and reschedule it.
+
+        Args:
+            at: Current virtual time.
+
+        Returns:
+            The :class:`CrawlOutcome`, or ``None`` when CollUrls is empty.
+        """
+        head = self._collurls.pop()
+        if head is None:
+            return None
+        url, _scheduled = head
+        outcome = self._crawl_module.crawl(url, at)
+        self.pages_processed += 1
+        completed = outcome.completed_at
+
+        if not outcome.stored:
+            # The page has disappeared (or is excluded): drop its statistics
+            # and do not reschedule it; the RankingModule will admit a
+            # replacement page on its next scan.
+            self._forget(url)
+            self._crawl_module.discard(url)
+            return outcome
+
+        self._observe(url, completed, outcome)
+        self._maybe_reallocate(completed)
+        next_visit = completed + self._interval_for(url)
+        self._collurls.schedule(url, next_visit)
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def estimated_rate(self, url: str) -> Optional[float]:
+        """Latest change-rate estimate for ``url`` (changes/day)."""
+        return self._rate_estimates.get(url)
+
+    def estimated_rates(self) -> Dict[str, float]:
+        """All current change-rate estimates."""
+        return dict(self._rate_estimates)
+
+    def set_importance(self, importance: Dict[str, float]) -> None:
+        """Receive the latest importance scores from the RankingModule."""
+        self._importance = dict(importance)
+
+    def forget(self, url: str) -> None:
+        """Drop all statistics for a page removed from the collection."""
+        self._forget(url)
+
+    def history(self, url: str) -> Optional[ChangeHistory]:
+        """The change history of ``url`` (``None`` before its first visit)."""
+        return self._histories.get(url)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _observe(self, url: str, at: float, outcome: CrawlOutcome) -> None:
+        history = self._histories.get(url)
+        if history is None or outcome.was_new:
+            self._histories[url] = ChangeHistory(
+                first_visit=at, window_days=self._config.history_window_days
+            )
+            if self._config.estimator == "eb":
+                self._eb_estimators[url] = BayesianClassEstimator()
+            return
+        history.record_visit(at, outcome.changed)
+        if outcome.changed:
+            self.changes_detected += 1
+        self._rate_estimates[url] = self._estimate_rate(url, history, outcome)
+
+    def _estimate_rate(
+        self, url: str, history: ChangeHistory, outcome: CrawlOutcome
+    ) -> float:
+        if self._config.estimator == "eb":
+            estimator = self._eb_estimators.setdefault(url, BayesianClassEstimator())
+            last = history.observations[-1]
+            estimator.observe(last.interval, last.changed)
+            return estimator.expected_rate()
+        estimate = self._ep_estimator.estimate(history)
+        if estimate is None:
+            return 0.0
+        if estimate.rate == float("inf"):
+            # Every visit saw a change: the best we can say is "at least once
+            # per visit interval"; use the reciprocal of the mean interval.
+            mean_interval = history.mean_interval()
+            return 1.0 / mean_interval if mean_interval > 0 else 1.0
+        return estimate.rate
+
+    def _maybe_reallocate(self, at: float) -> None:
+        if (
+            self._last_reallocation is not None
+            and at - self._last_reallocation < self._config.reallocation_interval_days
+        ):
+            return
+        self._last_reallocation = at
+        urls = self._collurls.urls() + list(self._rate_estimates.keys())
+        urls = list(dict.fromkeys(urls))
+        if not urls:
+            return
+        rates = {url: self._scheduling_rate(url) for url in urls}
+        importance = self._importance if self._config.use_importance else None
+        self._intervals = self._policy.intervals(
+            rates, self._config.crawl_budget_per_day, importance
+        )
+
+    def _scheduling_rate(self, url: str) -> float:
+        """Change rate used for scheduling, with priors for unknown pages.
+
+        A page with no history yet is assumed to change about once per
+        default revisit interval; a page that has never been seen to change
+        is given a small floor rate rather than exactly zero, so that the
+        optimal allocation keeps re-checking it occasionally and the
+        estimator can recover from an initial "this page never changes"
+        conclusion.
+        """
+        estimate = self._rate_estimates.get(url)
+        if estimate is None:
+            return 1.0 / self._config.default_interval_days
+        floor_window = self._config.history_window_days or 180.0
+        return max(estimate, 0.5 / floor_window)
+
+    def _interval_for(self, url: str) -> float:
+        interval = self._intervals.get(url)
+        if interval is None or interval <= 0:
+            return self._config.default_interval_days
+        return interval
+
+    def _forget(self, url: str) -> None:
+        self._histories.pop(url, None)
+        self._eb_estimators.pop(url, None)
+        self._rate_estimates.pop(url, None)
+        self._intervals.pop(url, None)

@@ -1,0 +1,37 @@
+"""Change-frequency estimation (the EP and EB estimators of Section 5.3).
+
+The UpdateModule decides how often to revisit a page from the page's change
+history — the sequence of (visit time, changed?) observations collected by
+comparing checksums across visits. Two estimators are proposed in the paper
+(both from the companion work [CGM99a], "Measuring frequency of change"):
+
+* **EP** (:class:`PoissonRateEstimator`) — assumes changes follow a Poisson
+  process and estimates the rate from the observed change history, with a
+  confidence interval. Both the naive estimator (detected changes divided by
+  observation time) and a bias-corrected maximum-likelihood estimator are
+  provided; the naive estimator systematically underestimates fast-changing
+  pages because at most one change can be detected per visit (Figure 1(a)).
+* **EB** (:class:`BayesianClassEstimator`) — maintains a posterior over a
+  small set of frequency *classes* (e.g. "changes every week" vs. "changes
+  every month") and updates it after every visit.
+"""
+
+from repro.estimation.change_history import ChangeHistory, Observation
+from repro.estimation.poisson_estimator import (
+    PoissonRateEstimate,
+    PoissonRateEstimator,
+    corrected_rate_estimate,
+    naive_rate_estimate,
+)
+from repro.estimation.bayesian_estimator import BayesianClassEstimator, FrequencyClass
+
+__all__ = [
+    "ChangeHistory",
+    "Observation",
+    "PoissonRateEstimator",
+    "PoissonRateEstimate",
+    "naive_rate_estimate",
+    "corrected_rate_estimate",
+    "BayesianClassEstimator",
+    "FrequencyClass",
+]

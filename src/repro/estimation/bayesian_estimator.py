@@ -1,0 +1,157 @@
+"""The EB estimator: Bayesian classification into frequency classes.
+
+Section 5.3: "the goal of estimator EB is ... to categorize pages into
+different frequency classes, say, pages that change every week (class CW)
+and pages that change every month (class CM). To implement EB, the
+UpdateModule stores the probability that page p_i belongs to each frequency
+class ... and updates these probabilities based on detected changes. For
+instance, if the UpdateModule learns that page p1 did not change for one
+month, the UpdateModule increases P{p1 in CM} and decreases P{p1 in CW}."
+
+We implement exactly that: each :class:`FrequencyClass` carries a Poisson
+rate; after each visit the posterior over classes is updated with the
+likelihood of the observed outcome (changed / unchanged over the inter-visit
+interval) under each class's rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.estimation.change_history import ChangeHistory
+
+
+@dataclass(frozen=True)
+class FrequencyClass:
+    """A change-frequency class.
+
+    Attributes:
+        name: Human-readable name, e.g. ``"weekly"``.
+        mean_interval_days: Mean change interval of pages in this class.
+    """
+
+    name: str
+    mean_interval_days: float
+
+    def __post_init__(self) -> None:
+        if self.mean_interval_days <= 0:
+            raise ValueError("mean_interval_days must be positive")
+
+    @property
+    def rate(self) -> float:
+        """Poisson rate (changes per day) of this class."""
+        return 1.0 / self.mean_interval_days
+
+
+#: Default classes roughly matching the paper's discussion: daily, weekly,
+#: monthly and quarterly changers plus an (almost) static class.
+DEFAULT_CLASSES: Sequence[FrequencyClass] = (
+    FrequencyClass("daily", 1.0),
+    FrequencyClass("weekly", 7.0),
+    FrequencyClass("monthly", 30.0),
+    FrequencyClass("quarterly", 120.0),
+    FrequencyClass("static", 720.0),
+)
+
+
+class BayesianClassEstimator:
+    """EB: posterior over frequency classes for a single page.
+
+    Args:
+        classes: The candidate frequency classes.
+        prior: Optional prior probabilities (uniform when omitted); must
+            match ``classes`` in length and sum to 1.
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[FrequencyClass] = DEFAULT_CLASSES,
+        prior: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not classes:
+            raise ValueError("at least one frequency class is required")
+        self._classes = list(classes)
+        if prior is None:
+            prior = [1.0 / len(classes)] * len(classes)
+        if len(prior) != len(classes):
+            raise ValueError("prior must have one weight per class")
+        if any(weight < 0 for weight in prior):
+            raise ValueError("prior weights must be non-negative")
+        total = sum(prior)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("prior weights must sum to 1")
+        self._posterior: List[float] = list(prior)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def observe(self, interval_days: float, changed: bool) -> None:
+        """Update the posterior with one visit outcome.
+
+        Args:
+            interval_days: Days since the previous visit.
+            changed: Whether a change was detected at this visit.
+        """
+        if interval_days < 0:
+            raise ValueError("interval_days must be non-negative")
+        likelihoods = []
+        for frequency_class in self._classes:
+            p_change = 1.0 - math.exp(-frequency_class.rate * interval_days)
+            likelihoods.append(p_change if changed else 1.0 - p_change)
+        weighted = [p * l for p, l in zip(self._posterior, likelihoods)]
+        total = sum(weighted)
+        if total <= 0.0:
+            # Every class assigns probability ~0 to the observation (e.g. a
+            # change over a zero-length interval); keep the posterior as is.
+            return
+        self._posterior = [w / total for w in weighted]
+
+    def observe_history(self, history: ChangeHistory) -> None:
+        """Replay every observation of a :class:`ChangeHistory`."""
+        for observation in history.observations:
+            self.observe(observation.interval, observation.changed)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def classes(self) -> Sequence[FrequencyClass]:
+        """The candidate classes, in order."""
+        return tuple(self._classes)
+
+    def posterior(self) -> Dict[str, float]:
+        """Mapping from class name to posterior probability."""
+        return {
+            frequency_class.name: probability
+            for frequency_class, probability in zip(self._classes, self._posterior)
+        }
+
+    def probability_of(self, class_name: str) -> float:
+        """Posterior probability of the class named ``class_name``."""
+        for frequency_class, probability in zip(self._classes, self._posterior):
+            if frequency_class.name == class_name:
+                return probability
+        raise KeyError(f"unknown frequency class {class_name!r}")
+
+    def most_likely_class(self) -> FrequencyClass:
+        """The class with the highest posterior probability."""
+        best_index = max(
+            range(len(self._classes)), key=lambda i: (self._posterior[i], -i)
+        )
+        return self._classes[best_index]
+
+    def expected_rate(self) -> float:
+        """Posterior-mean change rate (changes per day)."""
+        return sum(
+            probability * frequency_class.rate
+            for frequency_class, probability in zip(self._classes, self._posterior)
+        )
+
+    def expected_interval(self) -> float:
+        """Inverse of the posterior-mean rate, in days."""
+        rate = self.expected_rate()
+        if rate == 0:
+            return float("inf")
+        return 1.0 / rate

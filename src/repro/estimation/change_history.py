@@ -1,0 +1,148 @@
+"""Per-page change histories.
+
+Every time the UpdateModule re-fetches a page it learns one bit: did the
+checksum differ from the previous fetch? A :class:`ChangeHistory` stores
+those observations (optionally windowed to the most recent months, as the
+paper suggests keeping "say, last 6 months") and exposes the summary
+statistics the estimators need: number of visits, number of detected
+changes, total observation time, and the individual inter-visit intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One re-visit observation.
+
+    Attributes:
+        time: Virtual time of the visit.
+        changed: Whether the checksum differed from the previous visit.
+        interval: Days since the previous visit.
+    """
+
+    time: float
+    changed: bool
+    interval: float
+
+
+class ChangeHistory:
+    """Change observations for a single page.
+
+    Args:
+        first_visit: Virtual time of the first fetch (which establishes the
+            baseline checksum; it is not itself a change observation).
+        window_days: When given, only observations within the trailing
+            window are retained — the paper suggests keeping roughly six
+            months of history.
+    """
+
+    def __init__(self, first_visit: float, window_days: Optional[float] = None) -> None:
+        if first_visit < 0:
+            raise ValueError("first_visit must be non-negative")
+        if window_days is not None and window_days <= 0:
+            raise ValueError("window_days must be positive when given")
+        self.first_visit = first_visit
+        self.window_days = window_days
+        self._last_visit = first_visit
+        self._observations: List[Observation] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_visit(self, time: float, changed: bool) -> Observation:
+        """Record a re-visit at ``time`` with its change outcome.
+
+        Args:
+            time: Virtual time of the visit; must not precede the previous
+                visit.
+            changed: True when the checksum differed from the previous fetch.
+
+        Returns:
+            The stored :class:`Observation`.
+        """
+        if time < self._last_visit:
+            raise ValueError("visits must be recorded in chronological order")
+        observation = Observation(
+            time=time,
+            changed=changed,
+            interval=time - self._last_visit,
+        )
+        self._observations.append(observation)
+        self._last_visit = time
+        self._trim()
+        return observation
+
+    def _trim(self) -> None:
+        if self.window_days is None or not self._observations:
+            return
+        cutoff = self._last_visit - self.window_days
+        self._observations = [o for o in self._observations if o.time >= cutoff]
+
+    # ------------------------------------------------------------------ #
+    # Summary statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def last_visit(self) -> float:
+        """Virtual time of the most recent visit."""
+        return self._last_visit
+
+    @property
+    def observations(self) -> Sequence[Observation]:
+        """All retained observations, oldest first."""
+        return tuple(self._observations)
+
+    @property
+    def n_visits(self) -> int:
+        """Number of recorded re-visits (excluding the very first fetch)."""
+        return len(self._observations)
+
+    @property
+    def n_changes(self) -> int:
+        """Number of re-visits at which a change was detected."""
+        return sum(1 for o in self._observations if o.changed)
+
+    @property
+    def observation_time(self) -> float:
+        """Total time covered by the retained observations (days)."""
+        return sum(o.interval for o in self._observations)
+
+    def intervals(self) -> List[float]:
+        """Inter-visit intervals of the retained observations."""
+        return [o.interval for o in self._observations]
+
+    def mean_interval(self) -> float:
+        """Average inter-visit interval (0 when there are no observations)."""
+        if not self._observations:
+            return 0.0
+        return self.observation_time / len(self._observations)
+
+    def detected_change_intervals(self) -> List[float]:
+        """Observed intervals between successive *detected* changes.
+
+        This is the Section 3.1 quantity: if a page was observed for 50 days
+        and changed 5 times, the average change interval estimate is 10 days.
+        The individual intervals feed the Figure 6 exponential fit.
+        """
+        intervals: List[float] = []
+        elapsed_since_change = 0.0
+        for observation in self._observations:
+            elapsed_since_change += observation.interval
+            if observation.changed:
+                intervals.append(elapsed_since_change)
+                elapsed_since_change = 0.0
+        return intervals
+
+    def average_change_interval(self) -> Optional[float]:
+        """Observation time divided by detected changes, or None if no change.
+
+        This mirrors the paper's estimate of a page's average change
+        interval; its granularity is bounded below by the visit interval.
+        """
+        changes = self.n_changes
+        if changes == 0:
+            return None
+        return self.observation_time / changes

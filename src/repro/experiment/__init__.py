@@ -1,0 +1,46 @@
+"""The web-evolution experiment of Sections 2 and 3.
+
+The paper crawled a window of pages from 270 "popular" sites daily for about
+four months and analysed how pages change and how long they live. This
+package reproduces the full pipeline against the synthetic web:
+
+* :mod:`repro.experiment.site_selection` — pick candidate sites by
+  site-level PageRank and apply webmaster consent, reproducing the Table 1
+  domain mix;
+* :mod:`repro.experiment.monitor` — daily active crawling of each site's
+  page window (Section 2.1), producing an observation log;
+* :mod:`repro.experiment.change_interval` — average change-interval
+  histograms (Figure 2);
+* :mod:`repro.experiment.lifespan_analysis` — visible-lifespan histograms
+  with the two censoring corrections (Figure 4);
+* :mod:`repro.experiment.survival` — the fraction of pages unchanged by a
+  given day and the time for 50% of the web to change (Figure 5);
+* :mod:`repro.experiment.poisson_fit` — the exponential-interval check of
+  the Poisson change model (Figure 6).
+"""
+
+from repro.experiment.monitor import ActiveMonitor, ObservationLog, PageObservationHistory
+from repro.experiment.site_selection import SiteSelection, select_sites
+from repro.experiment.change_interval import (
+    ChangeIntervalAnalysis,
+    analyze_change_intervals,
+)
+from repro.experiment.lifespan_analysis import LifespanAnalysis, analyze_lifespans
+from repro.experiment.survival import SurvivalAnalysis, analyze_survival
+from repro.experiment.poisson_fit import PoissonFitResult, fit_poisson_model
+
+__all__ = [
+    "ActiveMonitor",
+    "ObservationLog",
+    "PageObservationHistory",
+    "SiteSelection",
+    "select_sites",
+    "ChangeIntervalAnalysis",
+    "analyze_change_intervals",
+    "LifespanAnalysis",
+    "analyze_lifespans",
+    "SurvivalAnalysis",
+    "analyze_survival",
+    "PoissonFitResult",
+    "fit_poisson_model",
+]

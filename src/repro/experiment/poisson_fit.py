@@ -1,0 +1,142 @@
+"""Does a Poisson model describe page changes? (Section 3.4, Figure 6)
+
+The paper selects pages with a given average change interval (e.g. 10 or 20
+days), plots the distribution of the intervals between their successive
+detected changes on a log scale, and observes that the distribution is
+exponential — the signature of a Poisson process.
+
+:func:`fit_poisson_model` reproduces that analysis from an observation log:
+select pages whose estimated average change interval falls within a
+tolerance of the target, pool their observed inter-change intervals, fit an
+exponential distribution and report goodness-of-fit diagnostics, together
+with the binned empirical distribution that Figure 6 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.statistics import ExponentialFit, fit_exponential
+from repro.experiment.monitor import ObservationLog
+
+
+@dataclass(frozen=True)
+class PoissonFitResult:
+    """Result of the Figure 6 analysis for one target change interval.
+
+    Attributes:
+        target_interval_days: The average change interval of the selected
+            pages (10 or 20 days in the paper).
+        n_pages: Number of pages selected.
+        n_intervals: Number of pooled inter-change intervals.
+        fit: Exponential fit diagnostics (None when too little data).
+        histogram_bins: Left edges of the interval histogram bins (days).
+        histogram_fractions: Fraction of observed intervals per bin — the
+            empirical points of Figure 6.
+        predicted_fractions: Fractions predicted by the fitted exponential
+            distribution for the same bins — the solid line of Figure 6.
+    """
+
+    target_interval_days: float
+    n_pages: int
+    n_intervals: int
+    fit: Optional[ExponentialFit]
+    histogram_bins: Sequence[float]
+    histogram_fractions: Sequence[float]
+    predicted_fractions: Sequence[float]
+
+    @property
+    def looks_exponential(self) -> bool:
+        """Whether the data are consistent with a Poisson change process."""
+        return self.fit is not None and self.fit.is_plausibly_exponential
+
+
+def fit_poisson_model(
+    log: ObservationLog,
+    target_interval_days: float,
+    tolerance: float = 0.35,
+    bin_width_days: float = 5.0,
+    max_interval_days: Optional[float] = None,
+    min_intervals: int = 20,
+) -> PoissonFitResult:
+    """Run the Figure 6 analysis for one target change interval.
+
+    Args:
+        log: The monitoring output.
+        target_interval_days: Average change interval of the pages to select.
+        tolerance: Relative tolerance of the selection (0.35 selects pages
+            whose estimate is within 35% of the target).
+        bin_width_days: Width of the histogram bins.
+        max_interval_days: Largest interval included in the histogram;
+            defaults to four times the target.
+        min_intervals: Minimum number of pooled intervals required to
+            attempt the exponential fit.
+
+    Returns:
+        A :class:`PoissonFitResult`.
+    """
+    if target_interval_days <= 0:
+        raise ValueError("target_interval_days must be positive")
+    if not 0 < tolerance < 1:
+        raise ValueError("tolerance must be within (0, 1)")
+    if max_interval_days is None:
+        max_interval_days = 4.0 * target_interval_days
+
+    selected_pages = 0
+    intervals: List[float] = []
+    for history in log.pages.values():
+        estimate = history.average_change_interval()
+        if estimate is None:
+            continue
+        if abs(estimate - target_interval_days) > tolerance * target_interval_days:
+            continue
+        selected_pages += 1
+        intervals.extend(
+            interval for interval in history.change_intervals() if interval > 0
+        )
+
+    fit = fit_exponential(intervals) if len(intervals) >= min_intervals else None
+    bins, observed, predicted = _binned_distribution(
+        intervals, bin_width_days, max_interval_days, fit
+    )
+    return PoissonFitResult(
+        target_interval_days=target_interval_days,
+        n_pages=selected_pages,
+        n_intervals=len(intervals),
+        fit=fit,
+        histogram_bins=bins,
+        histogram_fractions=observed,
+        predicted_fractions=predicted,
+    )
+
+
+def _binned_distribution(
+    intervals: Sequence[float],
+    bin_width_days: float,
+    max_interval_days: float,
+    fit: Optional[ExponentialFit],
+) -> Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...]]:
+    """Empirical and predicted interval fractions per bin."""
+    if bin_width_days <= 0 or max_interval_days <= 0:
+        raise ValueError("bin widths and maxima must be positive")
+    edges = np.arange(0.0, max_interval_days + bin_width_days, bin_width_days)
+    if len(edges) < 2:
+        return (), (), ()
+    data = np.asarray([i for i in intervals if i <= max_interval_days], dtype=float)
+    counts, _ = np.histogram(data, bins=edges)
+    total = counts.sum()
+    observed = counts / total if total > 0 else np.zeros_like(counts, dtype=float)
+    if fit is None:
+        predicted = np.zeros_like(observed)
+    else:
+        rate = fit.rate
+        cdf = 1.0 - np.exp(-rate * edges)
+        predicted = np.diff(cdf)
+    return (
+        tuple(float(edge) for edge in edges[:-1]),
+        tuple(float(value) for value in observed),
+        tuple(float(value) for value in predicted),
+    )

@@ -1,0 +1,32 @@
+"""Content checksums.
+
+Section 5.3: "To estimate how often a particular page changes, the
+UpdateModule records the checksum of the page from the last crawl and
+compares that checksum with the one from the current crawl."
+
+We use SHA-1 over the page body. Any change to the content (in the
+simulation, any increment of the page's version counter) yields a different
+checksum with overwhelming probability, and identical content always yields
+an identical checksum, which is all the change-detection logic requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def page_checksum(content: str) -> str:
+    """Checksum of a page body.
+
+    Args:
+        content: The page body as text.
+
+    Returns:
+        A hex digest string; equal contents give equal digests.
+    """
+    return hashlib.sha1(content.encode("utf-8")).hexdigest()
+
+
+def checksums_differ(old: str, new: str) -> bool:
+    """True when two checksums indicate the content has changed."""
+    return old != new

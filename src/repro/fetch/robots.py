@@ -1,0 +1,65 @@
+"""Robots-style exclusion rules.
+
+The paper contacted webmasters for permission and respected their
+constraints; production crawlers additionally honour ``robots.txt``. The
+simulation models this as a set of excluded sites and excluded URL path
+prefixes. The fetcher refuses excluded URLs with an ``EXCLUDED`` status
+instead of fetching them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+
+class RobotsRules:
+    """Per-site URL exclusion rules.
+
+    Args:
+        excluded_sites: Site ids that must not be crawled at all (sites whose
+            webmasters did not give permission, in the paper's terms).
+        disallowed_prefixes: Mapping from site id to URL path prefixes that
+            must not be crawled on that site.
+    """
+
+    def __init__(
+        self,
+        excluded_sites: Iterable[str] = (),
+        disallowed_prefixes: Dict[str, Iterable[str]] = None,
+    ) -> None:
+        self._excluded_sites: Set[str] = set(excluded_sites)
+        self._disallowed: Dict[str, List[str]] = {}
+        if disallowed_prefixes:
+            for site_id, prefixes in disallowed_prefixes.items():
+                self._disallowed[site_id] = list(prefixes)
+
+    def exclude_site(self, site_id: str) -> None:
+        """Exclude an entire site."""
+        self._excluded_sites.add(site_id)
+
+    def disallow(self, site_id: str, prefix: str) -> None:
+        """Disallow URLs on ``site_id`` whose path starts with ``prefix``."""
+        self._disallowed.setdefault(site_id, []).append(prefix)
+
+    def is_allowed(self, site_id: str, url: str) -> bool:
+        """True when a crawler may fetch ``url`` on ``site_id``."""
+        if site_id in self._excluded_sites:
+            return False
+        for prefix in self._disallowed.get(site_id, ()):
+            if self._path_of(url).startswith(prefix):
+                return False
+        return True
+
+    @property
+    def excluded_sites(self) -> Set[str]:
+        """The set of fully excluded site ids."""
+        return set(self._excluded_sites)
+
+    @staticmethod
+    def _path_of(url: str) -> str:
+        """Extract the path component of a URL (naive but sufficient here)."""
+        without_scheme = url.split("://", 1)[-1]
+        slash = without_scheme.find("/")
+        if slash == -1:
+            return "/"
+        return without_scheme[slash:]

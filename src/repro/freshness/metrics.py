@@ -1,0 +1,124 @@
+"""Empirical freshness and age of a collection.
+
+Freshness ([CGM99b], quoted in Section 4): the fraction of pages in the
+local collection that are *up to date*, i.e. identical to their live
+counterpart at the evaluation instant. Age: for each page, how long its
+stored copy has been out of date (zero for up-to-date copies), averaged over
+the collection.
+
+In the simulation the ground truth is available from the
+:class:`~repro.simweb.web.SimulatedWeb` oracle, so both metrics can be
+computed exactly: a stored copy fetched at time ``t_f`` is up to date at
+time ``t`` iff the page did not change in ``(t_f, t]`` and still exists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.simweb.web import SimulatedWeb
+from repro.storage.records import PageRecord
+
+
+def collection_freshness(
+    records: Iterable[PageRecord],
+    web: SimulatedWeb,
+    at: float,
+) -> float:
+    """Fraction of stored records that are up to date at time ``at``.
+
+    A record is up to date when its page still exists and has not changed
+    since the record was fetched. An empty collection has freshness 0 (it
+    provides no up-to-date pages to users).
+
+    Args:
+        records: Stored page records (the *current* collection).
+        web: Ground-truth oracle.
+        at: Evaluation instant (virtual days).
+
+    Returns:
+        Freshness in [0, 1].
+    """
+    records = list(records)
+    if not records:
+        return 0.0
+    fresh = 0
+    for record in records:
+        page = web.page(record.url) if record.url in web else None
+        if page is None or not page.exists_at(at):
+            continue
+        if not page.changed_between(record.fetched_at, at):
+            fresh += 1
+    return fresh / len(records)
+
+
+def collection_age(
+    records: Iterable[PageRecord],
+    web: SimulatedWeb,
+    at: float,
+) -> float:
+    """Average age of the stored records at time ``at``.
+
+    The age of an up-to-date record is zero; the age of a stale record is
+    the time since the *first* change after its fetch. Records whose page no
+    longer exists age from the moment of deletion... they are treated as
+    stale since the deletion instant, matching the freshness definition.
+
+    Args:
+        records: Stored page records.
+        web: Ground-truth oracle.
+        at: Evaluation instant.
+
+    Returns:
+        Mean age in days (0 for an empty collection).
+    """
+    records = list(records)
+    if not records:
+        return 0.0
+    total_age = 0.0
+    for record in records:
+        total_age += _record_age(record, web, at)
+    return total_age / len(records)
+
+
+def _record_age(record: PageRecord, web: SimulatedWeb, at: float) -> float:
+    if record.url not in web:
+        return max(0.0, at - record.fetched_at)
+    page = web.page(record.url)
+    if not page.exists_at(at):
+        deleted_at = page.deleted_at if page.deleted_at is not None else record.fetched_at
+        stale_since = min(max(record.fetched_at, deleted_at), at)
+        return max(0.0, at - stale_since)
+    relative_fetch = max(0.0, record.fetched_at - page.created_at)
+    relative_now = max(0.0, at - page.created_at)
+    next_change = page.change_process.next_change_after(relative_fetch)
+    if next_change is None or next_change > relative_now:
+        return 0.0
+    return relative_now - next_change
+
+
+def time_average(samples: Sequence[Tuple[float, float]]) -> float:
+    """Time-weighted average of a piecewise-constant series.
+
+    Args:
+        samples: ``(time, value)`` pairs sorted by time; the value is assumed
+            to hold from its sample time until the next sample time.
+
+    Returns:
+        The time-weighted mean of the values (simple mean when all samples
+        share the same timestamp; 0 for an empty series).
+    """
+    if not samples:
+        return 0.0
+    if len(samples) == 1:
+        return samples[0][1]
+    times = [s[0] for s in samples]
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise ValueError("samples must be sorted by time")
+    total_span = samples[-1][0] - samples[0][0]
+    if total_span == 0:
+        return sum(value for _, value in samples) / len(samples)
+    weighted = 0.0
+    for (t0, v0), (t1, _) in zip(samples, samples[1:]):
+        weighted += v0 * (t1 - t0)
+    return weighted / total_span

@@ -1,0 +1,299 @@
+"""Freshness-optimal allocation of revisit frequencies (Figure 9).
+
+Section 4 (design choice 3) argues, following [CGM99b], that the revisit
+frequency of a page should *not* simply be proportional to its change
+frequency: pages that change extremely often are not worth revisiting at
+all, because their copy goes stale almost immediately no matter what.
+
+Formally: pages ``i = 1..n`` change with Poisson rates ``lambda_i``; the
+crawler can afford a total revisit budget ``B`` (page fetches per day,
+``sum f_i = B``). Revisiting page ``i`` every ``1/f_i`` days yields
+time-averaged freshness
+
+    F(lambda, f) = (f / lambda) * (1 - exp(-lambda / f)),       f > 0
+    F(lambda, 0) = 0  (for lambda > 0),   F(0, f) = 1.
+
+``F`` is concave and increasing in ``f``, so the optimal allocation follows
+from the Karush-Kuhn-Tucker conditions: there is a water level ``mu > 0``
+such that each page either satisfies ``dF/df(lambda_i, f_i) = mu`` or gets
+``f_i = 0`` when even the first marginal unit of bandwidth is worth less
+than ``mu`` (which happens exactly when ``1/lambda_i < mu``, i.e. for pages
+that change too often). Solving ``f_i(mu)`` per page and bisecting on ``mu``
+to exhaust the budget gives the allocation; the resulting ``f(lambda)``
+curve is the unimodal shape of Figure 9.
+
+The same machinery supports per-page importance weights (Section 5.3 notes
+the UpdateModule "may need to consult the importance of a page in deciding
+on revisit frequency"): maximising ``sum w_i F(lambda_i, f_i)`` simply
+replaces the marginal-value condition by ``w_i * dF/df = mu``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+#: Rates below this threshold are treated as "never changes"; it avoids
+#: numerical underflow for denormal inputs and has no practical effect (the
+#: threshold corresponds to one change per ~3 billion years).
+_RATE_EPSILON = 1e-12
+
+
+def page_freshness(rate: float, frequency: float) -> float:
+    """Time-averaged freshness of one page revisited ``frequency`` times/day."""
+    if rate < 0 or frequency < 0:
+        raise ValueError("rate and frequency must be non-negative")
+    if rate <= _RATE_EPSILON:
+        return 1.0
+    if frequency == 0.0:
+        return 0.0
+    x = rate / frequency
+    if x <= _RATE_EPSILON:
+        return 1.0
+    return -math.expm1(-x) / x
+
+
+def marginal_freshness(rate: float, frequency: float) -> float:
+    """Derivative of :func:`page_freshness` with respect to the frequency.
+
+    ``dF/df = (1/lambda)(1 - exp(-lambda/f)) - exp(-lambda/f)/f``; the limit
+    as ``f -> 0+`` is ``1/lambda`` and the function decreases to 0.
+    """
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    if rate <= _RATE_EPSILON:
+        return 0.0
+    if frequency <= 0.0:
+        return 1.0 / rate
+    x = rate / frequency
+    return (1.0 - math.exp(-x)) / rate - math.exp(-x) / frequency
+
+
+def total_freshness(
+    rates: Sequence[float],
+    frequencies: Sequence[float],
+    weights: Optional[Sequence[float]] = None,
+) -> float:
+    """Weighted average freshness of a page population under an allocation.
+
+    Args:
+        rates: Per-page change rates.
+        frequencies: Per-page revisit frequencies (same length as ``rates``).
+        weights: Optional per-page importance weights; uniform when omitted.
+
+    Returns:
+        ``sum w_i F_i / sum w_i``.
+    """
+    if len(rates) != len(frequencies):
+        raise ValueError("rates and frequencies must have the same length")
+    if not rates:
+        return 0.0
+    if weights is None:
+        weights = [1.0] * len(rates)
+    if len(weights) != len(rates):
+        raise ValueError("weights must have the same length as rates")
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return (
+        sum(w * page_freshness(r, f) for w, r, f in zip(weights, rates, frequencies))
+        / total_weight
+    )
+
+
+def uniform_revisit_frequencies(rates: Sequence[float], budget: float) -> List[float]:
+    """Every page gets the same revisit frequency (the fixed-frequency policy)."""
+    _validate_budget(rates, budget)
+    if not rates:
+        return []
+    return [budget / len(rates)] * len(rates)
+
+
+def proportional_revisit_frequencies(rates: Sequence[float], budget: float) -> List[float]:
+    """Revisit frequency proportional to the change rate.
+
+    This is the intuitive-but-suboptimal policy the paper warns about. Pages
+    that never change receive no visits; if no page changes at all, the
+    budget is spread uniformly.
+    """
+    _validate_budget(rates, budget)
+    if not rates:
+        return []
+    total_rate = sum(rates)
+    if total_rate == 0.0:
+        return uniform_revisit_frequencies(rates, budget)
+    return [budget * rate / total_rate for rate in rates]
+
+
+def optimal_revisit_frequencies(
+    rates: Sequence[float],
+    budget: float,
+    weights: Optional[Sequence[float]] = None,
+    tolerance: float = 1e-9,
+) -> List[float]:
+    """Freshness-optimal revisit frequencies under a total budget.
+
+    Args:
+        rates: Per-page Poisson change rates (changes per day).
+        budget: Total revisit budget (page fetches per day); must be
+            positive when there is at least one page.
+        weights: Optional importance weights; the allocation then maximises
+            the weighted freshness sum.
+        tolerance: Relative tolerance of the budget bisection.
+
+    Returns:
+        Per-page revisit frequencies summing to ``budget`` (up to the
+        tolerance). Pages with rate 0 always get frequency 0 (their copy is
+        fresh forever); pages that change too fast relative to the budget
+        may also get frequency 0, which is the Figure 9 effect.
+    """
+    _validate_budget(rates, budget)
+    n = len(rates)
+    if n == 0:
+        return []
+    if weights is None:
+        weights = [1.0] * n
+    if len(weights) != n:
+        raise ValueError("weights must have the same length as rates")
+    if any(weight < 0 for weight in weights):
+        raise ValueError("weights must be non-negative")
+
+    changing = [
+        index for index in range(n)
+        if rates[index] > _RATE_EPSILON and weights[index] > 0
+    ]
+    if not changing:
+        return [0.0] * n
+
+    # The marginal value of the first unit of bandwidth for page i is
+    # weights[i] / rates[i]; mu must lie below the largest such value for any
+    # page to receive bandwidth at all.
+    mu_high = max(weights[index] / rates[index] for index in changing)
+    mu_low = 0.0
+
+    def allocation_for(mu: float) -> List[float]:
+        frequencies = [0.0] * n
+        for index in changing:
+            frequencies[index] = _frequency_for_marginal(
+                rates[index], weights[index], mu
+            )
+        return frequencies
+
+    def total_for(mu: float) -> float:
+        return sum(allocation_for(mu))
+
+    # total_for is decreasing in mu: bisect for the water level that exhausts
+    # the budget. As mu -> 0+ the total grows without bound, so mu_low always
+    # ends up on the over-budget side and mu_high on the under-budget side.
+    for _ in range(200):
+        mu_mid = 0.5 * (mu_low + mu_high)
+        if mu_mid <= 0:
+            break
+        total = total_for(mu_mid)
+        if abs(total - budget) <= tolerance * max(1.0, budget):
+            mu_low = mu_high = mu_mid
+            break
+        if total > budget:
+            mu_low = mu_mid
+        else:
+            mu_high = mu_mid
+
+    frequencies = allocation_for(mu_high if mu_high > 0 else mu_low)
+    leftover = budget - sum(frequencies)
+    if leftover > tolerance * max(1.0, budget) and mu_low > 0:
+        # Degenerate (but common) case: some page's marginal freshness is flat
+        # at exactly the water level — its frequency jumps discontinuously as
+        # mu crosses 1/rate, so bisection alone cannot hit the budget. The
+        # KKT-optimal completion gives the leftover budget to exactly those
+        # pages, capped at their allocation just below the water level.
+        generous = allocation_for(mu_low)
+        jumps = sorted(
+            range(n), key=lambda i: generous[i] - frequencies[i], reverse=True
+        )
+        for index in jumps:
+            if leftover <= 0:
+                break
+            extra = min(leftover, generous[index] - frequencies[index])
+            if extra > 0:
+                frequencies[index] += extra
+                leftover -= extra
+
+    # Normalise residual numerical drift so the budget is met exactly.
+    total = sum(frequencies)
+    if total > 0:
+        scale = budget / total
+        frequencies = [frequency * scale for frequency in frequencies]
+    return frequencies
+
+
+def optimal_frequency_curve(
+    rates: Sequence[float],
+    budget: float,
+    population_rates: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """The Figure 9 curve: optimal frequency as a function of change rate.
+
+    Args:
+        rates: The change-rate values at which to evaluate the curve (the
+            horizontal axis of Figure 9).
+        budget: Revisit budget for the *population*.
+        population_rates: The change rates of the page population that fixes
+            the water level; defaults to ``rates`` themselves (one page per
+            horizontal-axis point).
+
+    Returns:
+        The optimal revisit frequency for a page of each given rate, holding
+        the population's water level fixed.
+    """
+    population = list(population_rates) if population_rates is not None else list(rates)
+    allocation = optimal_revisit_frequencies(population, budget)
+    # Recover the water level from any page that received bandwidth.
+    mu = None
+    for rate, frequency in zip(population, allocation):
+        if frequency > 0 and rate > 0:
+            mu = marginal_freshness(rate, frequency)
+            break
+    if mu is None:
+        return [0.0 for _ in rates]
+    return [_frequency_for_marginal(rate, 1.0, mu) if rate > 0 else 0.0 for rate in rates]
+
+
+def _frequency_for_marginal(rate: float, weight: float, mu: float) -> float:
+    """Solve ``weight * dF/df(rate, f) = mu`` for ``f`` (0 when impossible).
+
+    ``dF/df`` decreases from ``1/rate`` (at ``f -> 0``) to 0, so a positive
+    solution exists iff ``mu < weight / rate``; otherwise the page is not
+    worth visiting at all.
+    """
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    if rate <= _RATE_EPSILON or weight <= 0:
+        return 0.0
+    if mu >= weight / rate:
+        return 0.0
+    target = mu / weight
+
+    def gap(frequency: float) -> float:
+        return marginal_freshness(rate, frequency) - target
+
+    low = 1e-12
+    high = max(rate, 1.0)
+    while gap(high) > 0:
+        high *= 2.0
+        if high > 1e12:
+            break
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if gap(mid) > 0:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+def _validate_budget(rates: Sequence[float], budget: float) -> None:
+    if any(rate < 0 for rate in rates):
+        raise ValueError("rates must be non-negative")
+    if rates and budget <= 0:
+        raise ValueError("budget must be positive when pages are present")

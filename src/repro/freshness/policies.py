@@ -1,0 +1,147 @@
+"""Revisit policies the UpdateModule can plug in.
+
+A revisit policy turns per-page change-rate estimates (and optionally
+importance scores) into per-page revisit intervals under a crawl bandwidth
+budget. Three policies are provided, matching the Section 4 discussion:
+
+* :class:`UniformRevisitPolicy` — the fixed-frequency policy (every page at
+  the same interval), natural for a batch-mode crawler;
+* :class:`ProportionalRevisitPolicy` — visit a page more often the more it
+  changes; intuitive but suboptimal, as the paper's two-page example shows;
+* :class:`OptimalRevisitPolicy` — the freshness-optimal allocation of
+  [CGM99b] (Figure 9), optionally importance-weighted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Optional
+
+from repro.freshness.optimal_allocation import (
+    optimal_revisit_frequencies,
+    proportional_revisit_frequencies,
+    uniform_revisit_frequencies,
+)
+
+#: Interval assigned to pages the policy decides never to revisit. Keeping it
+#: finite (rather than infinite) means even "hopeless" pages are eventually
+#: re-checked, which lets the crawler notice estimation errors.
+MAX_REVISIT_INTERVAL_DAYS = 365.0
+
+
+class RevisitPolicy(ABC):
+    """Maps change-rate estimates to revisit intervals under a budget."""
+
+    @abstractmethod
+    def frequencies(
+        self,
+        rates: Mapping[str, float],
+        budget_per_day: float,
+        importance: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Per-URL revisit frequencies (visits per day) summing to the budget.
+
+        Args:
+            rates: Mapping from URL to estimated change rate (changes/day).
+            budget_per_day: Total page fetches per day available for
+                refreshing.
+            importance: Optional per-URL importance weights.
+
+        Returns:
+            Mapping from URL to revisit frequency.
+        """
+
+    def intervals(
+        self,
+        rates: Mapping[str, float],
+        budget_per_day: float,
+        importance: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Per-URL revisit intervals in days (capped at a year).
+
+        Pages the policy assigns zero frequency get
+        :data:`MAX_REVISIT_INTERVAL_DAYS`.
+        """
+        frequencies = self.frequencies(rates, budget_per_day, importance)
+        intervals: Dict[str, float] = {}
+        for url, frequency in frequencies.items():
+            if frequency <= 0:
+                intervals[url] = MAX_REVISIT_INTERVAL_DAYS
+            else:
+                intervals[url] = min(MAX_REVISIT_INTERVAL_DAYS, 1.0 / frequency)
+        return intervals
+
+    @staticmethod
+    def _validate(rates: Mapping[str, float], budget_per_day: float) -> None:
+        if rates and budget_per_day <= 0:
+            raise ValueError("budget_per_day must be positive")
+        if any(rate < 0 for rate in rates.values()):
+            raise ValueError("change rates must be non-negative")
+
+
+class UniformRevisitPolicy(RevisitPolicy):
+    """Every page is revisited at the same frequency (fixed-frequency)."""
+
+    def frequencies(
+        self,
+        rates: Mapping[str, float],
+        budget_per_day: float,
+        importance: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, float]:
+        self._validate(rates, budget_per_day)
+        urls = list(rates.keys())
+        values = uniform_revisit_frequencies([rates[url] for url in urls], budget_per_day)
+        return dict(zip(urls, values))
+
+
+class ProportionalRevisitPolicy(RevisitPolicy):
+    """Revisit frequency proportional to the estimated change rate."""
+
+    def frequencies(
+        self,
+        rates: Mapping[str, float],
+        budget_per_day: float,
+        importance: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, float]:
+        self._validate(rates, budget_per_day)
+        urls = list(rates.keys())
+        values = proportional_revisit_frequencies(
+            [rates[url] for url in urls], budget_per_day
+        )
+        return dict(zip(urls, values))
+
+
+class OptimalRevisitPolicy(RevisitPolicy):
+    """Freshness-optimal allocation, optionally importance-weighted.
+
+    Args:
+        use_importance: When True and importance scores are provided, the
+            allocation maximises importance-weighted freshness, implementing
+            the Section 5.3 remark that highly important pages may deserve
+            more frequent revisits than their change rate alone would
+            justify.
+    """
+
+    def __init__(self, use_importance: bool = False) -> None:
+        self.use_importance = use_importance
+
+    def frequencies(
+        self,
+        rates: Mapping[str, float],
+        budget_per_day: float,
+        importance: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, float]:
+        self._validate(rates, budget_per_day)
+        urls = list(rates.keys())
+        weights = None
+        if self.use_importance and importance:
+            # Guard against all-zero importance (e.g. before the first
+            # PageRank computation) which would starve every page.
+            raw = [max(0.0, importance.get(url, 0.0)) for url in urls]
+            if any(weight > 0 for weight in raw):
+                floor = max(raw) * 1e-3 if max(raw) > 0 else 1.0
+                weights = [max(weight, floor) for weight in raw]
+        values = optimal_revisit_frequencies(
+            [rates[url] for url in urls], budget_per_day, weights=weights
+        )
+        return dict(zip(urls, values))

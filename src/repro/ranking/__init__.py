@@ -1,0 +1,26 @@
+"""Importance metrics used for the refinement decision.
+
+Section 5.2: "To measure importance, the crawler can use a number of
+metrics, including PageRank and Hub and Authority." Section 2.2 additionally
+defines a *site-level* PageRank over a hypergraph of sites, which the paper
+used to select the 400 candidate "popular" sites.
+
+This package implements all three:
+
+* :func:`pagerank` — page-level PageRank by power iteration;
+* :func:`site_pagerank` — PageRank over the site hypergraph built by
+  collapsing page-level links;
+* :func:`hits` — Kleinberg's hubs-and-authorities scores.
+"""
+
+from repro.ranking.pagerank import cho_pagerank, pagerank
+from repro.ranking.site_rank import build_site_graph, site_pagerank
+from repro.ranking.hits import hits
+
+__all__ = [
+    "pagerank",
+    "cho_pagerank",
+    "site_pagerank",
+    "build_site_graph",
+    "hits",
+]

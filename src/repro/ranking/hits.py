@@ -1,0 +1,85 @@
+"""Hubs and authorities (HITS).
+
+Section 5.2 lists "Hub and Authority [Kle98]" as an alternative importance
+metric for the refinement decision. This is Kleinberg's algorithm: iterate
+
+    authority(p) = sum of hub(q) over q linking to p
+    hub(p)       = sum of authority(q) over q linked from p
+
+normalising after each step, until the scores converge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+Graph = Mapping[str, Sequence[str]]
+
+
+def hits(
+    graph: Graph,
+    tolerance: float = 1e-10,
+    max_iterations: int = 200,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Compute hub and authority scores for every node of ``graph``.
+
+    Args:
+        graph: Mapping from node to the nodes it links to; nodes appearing
+            only as targets are included automatically.
+        tolerance: L1 convergence threshold on both score vectors.
+        max_iterations: Iteration cap.
+
+    Returns:
+        A pair ``(hubs, authorities)`` of mappings from node to score; each
+        score vector is normalised to sum to 1 (all zeros for an empty or
+        edgeless graph).
+    """
+    nodes = list(graph.keys())
+    seen = set(nodes)
+    for targets in graph.values():
+        for target in targets:
+            if target not in seen:
+                seen.add(target)
+                nodes.append(target)
+    if not nodes:
+        return {}, {}
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+
+    edges = [
+        (index[source], index[target])
+        for source, targets in graph.items()
+        for target in targets
+    ]
+    hubs = np.full(n, 1.0 / n)
+    authorities = np.full(n, 1.0 / n)
+    if not edges:
+        zero = {node: 0.0 for node in nodes}
+        return dict(zero), dict(zero)
+
+    sources = np.array([edge[0] for edge in edges])
+    targets = np.array([edge[1] for edge in edges])
+    for _ in range(max_iterations):
+        new_authorities = np.zeros(n)
+        np.add.at(new_authorities, targets, hubs[sources])
+        new_hubs = np.zeros(n)
+        np.add.at(new_hubs, sources, new_authorities[targets])
+        new_authorities = _normalise(new_authorities)
+        new_hubs = _normalise(new_hubs)
+        delta = float(np.abs(new_hubs - hubs).sum() + np.abs(new_authorities - authorities).sum())
+        hubs, authorities = new_hubs, new_authorities
+        if delta < tolerance:
+            break
+    return (
+        {node: float(hubs[index[node]]) for node in nodes},
+        {node: float(authorities[index[node]]) for node in nodes},
+    )
+
+
+def _normalise(vector: np.ndarray) -> np.ndarray:
+    total = float(vector.sum())
+    if total == 0.0:
+        return vector
+    return vector / total

@@ -1,0 +1,42 @@
+"""A virtual clock measured in days.
+
+All simulated components (fetcher, crawler modules, monitors) share a
+:class:`VirtualClock` so that four months of crawling play out in a fraction
+of a second of real time. The clock only moves forward.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonically increasing virtual time in days.
+
+    Args:
+        start: Initial time (defaults to day 0).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in days."""
+        return self._now
+
+    def advance(self, delta_days: float) -> float:
+        """Move the clock forward by ``delta_days`` and return the new time."""
+        if delta_days < 0:
+            raise ValueError("cannot advance the clock by a negative amount")
+        self._now += delta_days
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to ``t`` (no-op when ``t`` is in the past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.4f})"

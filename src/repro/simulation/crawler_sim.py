@@ -1,0 +1,264 @@
+"""Monte-Carlo simulation of crawl policies over Poisson pages.
+
+The simulator plays out a crawl policy against a population of pages with
+known Poisson change rates and measures the empirical freshness of the
+user-visible collection over time. It works at the page-statistics level
+(no URLs, no content) so that large populations and long horizons run in
+milliseconds; the full-architecture simulation lives in :mod:`repro.core`.
+
+Two entry points:
+
+* :func:`simulate_crawl_policy` — the four Section 4 combinations (steady or
+  batch crossed with in-place or shadowing), every page revisited once per
+  cycle. Used to cross-check the analytic formulas and to regenerate
+  Figures 7/8 and Table 2 by measurement rather than by formula.
+* :func:`simulate_revisit_allocation` — arbitrary per-page revisit
+  intervals (uniform, proportional or optimal allocations), used for the
+  Figure 9/10 policy-comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.freshness.analytic import CrawlMode, CrawlPolicy, UpdateMode
+
+
+@dataclass(frozen=True)
+class PolicySimulationResult:
+    """Result of a Monte-Carlo crawl-policy simulation.
+
+    Attributes:
+        times: Sample instants (days), measured from the start of the
+            measurement window (warm-up excluded).
+        freshness: Empirical freshness of the user-visible collection at
+            each sample instant.
+        mean_freshness: Time-averaged freshness over the measurement window.
+    """
+
+    times: Sequence[float]
+    freshness: Sequence[float]
+    mean_freshness: float
+
+
+def simulate_crawl_policy(
+    rates: Sequence[float],
+    policy: CrawlPolicy,
+    n_cycles: int = 12,
+    samples_per_cycle: int = 40,
+    warmup_cycles: int = 2,
+    seed: int = 0,
+) -> PolicySimulationResult:
+    """Simulate one of the four Section 4 policy combinations.
+
+    Every page is re-fetched exactly once per cycle. For a steady crawler
+    the fetch phases are spread uniformly over the cycle; for a batch
+    crawler they are spread uniformly over the batch window at the start of
+    the cycle. With shadowing, fetched copies only become visible when the
+    cycle's crawl completes.
+
+    Args:
+        rates: Per-page Poisson change rates (changes per day).
+        policy: The crawl-policy combination to simulate.
+        n_cycles: Number of measured cycles.
+        samples_per_cycle: Freshness samples per cycle.
+        warmup_cycles: Cycles simulated before measurement starts, so the
+            system reaches steady state (shadowing needs at least one
+            completed cycle before users see anything).
+        seed: Random seed for the change-time sampling.
+
+    Returns:
+        A :class:`PolicySimulationResult`.
+    """
+    if not rates:
+        raise ValueError("at least one page is required")
+    if n_cycles < 1 or samples_per_cycle < 1:
+        raise ValueError("n_cycles and samples_per_cycle must be positive")
+    if warmup_cycles < 1:
+        raise ValueError("warmup_cycles must be at least 1")
+    rng = np.random.default_rng(seed)
+    n_pages = len(rates)
+    cycle = policy.cycle_days
+    active = policy.active_duration_days
+    total_days = (warmup_cycles + n_cycles) * cycle
+
+    change_times = _sample_change_times(rates, total_days, rng)
+    # Fetch phase of each page within its cycle's active window.
+    phases = rng.uniform(0.0, active, size=n_pages)
+
+    measure_start = warmup_cycles * cycle
+    sample_times = np.linspace(
+        measure_start,
+        total_days,
+        n_cycles * samples_per_cycle,
+        endpoint=False,
+    )
+
+    freshness_values: List[float] = []
+    for t in sample_times:
+        copy_times = _copy_times_at(float(t), phases, policy)
+        fresh = 0
+        for page_index in range(n_pages):
+            copy_time = copy_times[page_index]
+            if copy_time is None:
+                continue
+            if _changes_between(change_times[page_index], copy_time, float(t)) == 0:
+                fresh += 1
+        freshness_values.append(fresh / n_pages)
+
+    mean = float(np.mean(freshness_values)) if freshness_values else 0.0
+    relative_times = [float(t - measure_start) for t in sample_times]
+    return PolicySimulationResult(
+        times=tuple(relative_times),
+        freshness=tuple(freshness_values),
+        mean_freshness=mean,
+    )
+
+
+def simulate_revisit_allocation(
+    rates: Sequence[float],
+    intervals: Sequence[float],
+    duration_days: float = 360.0,
+    n_samples: int = 400,
+    warmup_days: Optional[float] = None,
+    seed: int = 0,
+) -> PolicySimulationResult:
+    """Simulate an in-place crawler with arbitrary per-page revisit intervals.
+
+    Args:
+        rates: Per-page Poisson change rates.
+        intervals: Per-page revisit intervals in days (``inf`` or values
+            larger than the horizon mean the page is effectively never
+            revisited after the initial fetch).
+        duration_days: Length of the measurement window.
+        n_samples: Number of freshness samples.
+        warmup_days: Simulated time before measurement starts; defaults to
+            the largest finite interval (so every page has been revisited at
+            least once on its own schedule).
+        seed: Random seed.
+
+    Returns:
+        A :class:`PolicySimulationResult`.
+    """
+    if len(rates) != len(intervals):
+        raise ValueError("rates and intervals must have the same length")
+    if not rates:
+        raise ValueError("at least one page is required")
+    if duration_days <= 0 or n_samples < 1:
+        raise ValueError("duration_days and n_samples must be positive")
+    rng = np.random.default_rng(seed)
+    n_pages = len(rates)
+    finite_intervals = [i for i in intervals if math.isfinite(i)]
+    if warmup_days is None:
+        warmup_days = max(finite_intervals) if finite_intervals else 0.0
+    total_days = warmup_days + duration_days
+
+    change_times = _sample_change_times(rates, total_days, rng)
+    phases = np.array(
+        [rng.uniform(0.0, interval) if math.isfinite(interval) and interval > 0 else 0.0
+         for interval in intervals]
+    )
+
+    sample_times = np.linspace(warmup_days, total_days, n_samples, endpoint=False)
+    freshness_values: List[float] = []
+    for t in sample_times:
+        fresh = 0
+        for page_index in range(n_pages):
+            interval = intervals[page_index]
+            copy_time = _periodic_copy_time(float(t), float(phases[page_index]), interval)
+            if copy_time is None:
+                # Never fetched on its own schedule: count the initial fetch
+                # at time zero as the stored copy.
+                copy_time = 0.0
+            if _changes_between(change_times[page_index], copy_time, float(t)) == 0:
+                fresh += 1
+        freshness_values.append(fresh / n_pages)
+
+    mean = float(np.mean(freshness_values)) if freshness_values else 0.0
+    relative_times = [float(t - warmup_days) for t in sample_times]
+    return PolicySimulationResult(
+        times=tuple(relative_times),
+        freshness=tuple(freshness_values),
+        mean_freshness=mean,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Internals
+# --------------------------------------------------------------------- #
+def _sample_change_times(
+    rates: Sequence[float], total_days: float, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Sample sorted Poisson change times for each page over the horizon."""
+    change_times: List[np.ndarray] = []
+    for rate in rates:
+        if rate < 0:
+            raise ValueError("rates must be non-negative")
+        if rate == 0:
+            change_times.append(np.empty(0))
+            continue
+        count = rng.poisson(rate * total_days)
+        change_times.append(np.sort(rng.uniform(0.0, total_days, size=count)))
+    return change_times
+
+
+def _changes_between(times: np.ndarray, t0: float, t1: float) -> int:
+    """Number of change events in ``(t0, t1]``."""
+    if t1 < t0:
+        return 0
+    return int(np.searchsorted(times, t1, side="right") - np.searchsorted(times, t0, side="right"))
+
+
+def _copy_times_at(
+    t: float, phases: np.ndarray, policy: CrawlPolicy
+) -> List[Optional[float]]:
+    """When was the user-visible copy of each page fetched, as of time ``t``?
+
+    Returns ``None`` for pages whose copy is not yet visible (only possible
+    during the very first cycle of a shadowing crawler, which the warm-up
+    excludes from measurement).
+    """
+    cycle = policy.cycle_days
+    cycle_index = math.floor(t / cycle)
+    cycle_start = cycle_index * cycle
+    copy_times: List[Optional[float]] = []
+    for phase in phases:
+        fetch_this_cycle = cycle_start + float(phase)
+        fetch_previous_cycle = fetch_this_cycle - cycle
+        if policy.update_mode is UpdateMode.IN_PLACE:
+            if fetch_this_cycle <= t:
+                copy_times.append(fetch_this_cycle)
+            elif fetch_previous_cycle >= 0:
+                copy_times.append(fetch_previous_cycle)
+            else:
+                copy_times.append(None)
+            continue
+        # Shadowing: the visible copy comes from the most recent *completed*
+        # crawl. A steady crawl completes at the cycle boundary; a batch
+        # crawl completes at cycle_start + batch_duration.
+        completion_offset = (
+            cycle
+            if policy.crawl_mode is CrawlMode.STEADY
+            else policy.batch_duration_days
+        )
+        if t >= cycle_start + completion_offset:
+            copy_times.append(fetch_this_cycle)
+        elif fetch_previous_cycle >= 0:
+            copy_times.append(fetch_previous_cycle)
+        else:
+            copy_times.append(None)
+    return copy_times
+
+
+def _periodic_copy_time(t: float, phase: float, interval: float) -> Optional[float]:
+    """Most recent fetch time at or before ``t`` for a periodic schedule."""
+    if not math.isfinite(interval) or interval <= 0:
+        return None
+    if t < phase:
+        return None
+    periods = math.floor((t - phase) / interval)
+    return phase + periods * interval

@@ -1,0 +1,240 @@
+"""Page change processes.
+
+Section 3.4 of the paper verifies that page changes are well described by a
+Poisson process: the interval between successive changes of a page with rate
+``lambda`` is exponentially distributed with density ``lambda * exp(-lambda*t)``
+(Theorem 1). :class:`PoissonChangeProcess` is therefore the default model.
+
+Two additional processes are provided for ablations and tests:
+
+* :class:`PeriodicChangeProcess` changes at exactly fixed intervals, which is
+  the "clockwork" counter-example against which the Poisson assumption can be
+  compared (Figure 6 would show a spike instead of an exponential).
+* :class:`BurstyChangeProcess` emits batches of changes followed by silent
+  periods, modelling the Figure 1(b) caveat: a page that changes several
+  times in one day and then rests, for which a once-a-day observer measures
+  the interval between *batches* of changes.
+
+All processes expose the same interface: a sorted array of change times over
+a horizon, and helpers to count changes and look up the version of the page
+at a given virtual time. Virtual time is measured in days.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class ChangeProcess(ABC):
+    """Abstract model of when a page's content changes.
+
+    A change process is materialised over a finite horizon ``[0, horizon]``
+    of virtual days. Implementations pre-sample the change times once, so
+    that repeated queries (from crawlers, monitors and metrics) are
+    consistent and cheap.
+    """
+
+    def __init__(self) -> None:
+        self._change_times: Optional[List[float]] = None
+        self._horizon: float = 0.0
+
+    @abstractmethod
+    def _sample_change_times(self, horizon: float, rng: np.random.Generator) -> List[float]:
+        """Sample the (sorted) change times over ``[0, horizon]``."""
+
+    @property
+    @abstractmethod
+    def mean_rate(self) -> float:
+        """Expected number of changes per day."""
+
+    def materialise(self, horizon: float, rng: np.random.Generator) -> None:
+        """Sample and store change times over ``[0, horizon]``.
+
+        Calling this twice replaces the previous sample; the web generator
+        calls it exactly once per page.
+        """
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        self._horizon = horizon
+        self._change_times = sorted(self._sample_change_times(horizon, rng))
+
+    @property
+    def is_materialised(self) -> bool:
+        """True once :meth:`materialise` has been called."""
+        return self._change_times is not None
+
+    @property
+    def horizon(self) -> float:
+        """The horizon over which change times were sampled."""
+        return self._horizon
+
+    def change_times(self) -> Sequence[float]:
+        """All sampled change times, sorted ascending."""
+        self._require_materialised()
+        return tuple(self._change_times)  # type: ignore[arg-type]
+
+    def version_at(self, t: float) -> int:
+        """Number of changes that occurred at or before time ``t``.
+
+        Version 0 is the content the page was created with; each change
+        increments the version.
+        """
+        self._require_materialised()
+        if t < 0:
+            return 0
+        return bisect.bisect_right(self._change_times, t)  # type: ignore[arg-type]
+
+    def changes_between(self, t0: float, t1: float) -> int:
+        """Number of changes in the half-open interval ``(t0, t1]``."""
+        if t1 < t0:
+            raise ValueError("t1 must not precede t0")
+        return self.version_at(t1) - self.version_at(t0)
+
+    def changed_between(self, t0: float, t1: float) -> bool:
+        """True when at least one change occurred in ``(t0, t1]``."""
+        return self.changes_between(t0, t1) > 0
+
+    def next_change_after(self, t: float) -> Optional[float]:
+        """Time of the first change strictly after ``t``, or None if none."""
+        self._require_materialised()
+        index = bisect.bisect_right(self._change_times, t)  # type: ignore[arg-type]
+        if index >= len(self._change_times):  # type: ignore[arg-type]
+            return None
+        return self._change_times[index]  # type: ignore[index]
+
+    def last_change_at_or_before(self, t: float) -> Optional[float]:
+        """Time of the most recent change at or before ``t``, or None."""
+        self._require_materialised()
+        index = bisect.bisect_right(self._change_times, t)  # type: ignore[arg-type]
+        if index == 0:
+            return None
+        return self._change_times[index - 1]  # type: ignore[index]
+
+    def observed_intervals(self) -> List[float]:
+        """Intervals between successive changes (used by the Figure 6 fit)."""
+        times = self.change_times()
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def _require_materialised(self) -> None:
+        if self._change_times is None:
+            raise RuntimeError(
+                "change process has not been materialised; call materialise() first"
+            )
+
+
+class PoissonChangeProcess(ChangeProcess):
+    """Poisson change process with a fixed rate (changes per day).
+
+    This is the model the paper validates in Section 3.4 and uses for all of
+    the Section 4 analysis.
+    """
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self._rate = rate
+
+    @property
+    def mean_rate(self) -> float:
+        return self._rate
+
+    @property
+    def mean_interval(self) -> float:
+        """Expected number of days between changes (infinite for rate 0)."""
+        if self._rate == 0:
+            return float("inf")
+        return 1.0 / self._rate
+
+    def _sample_change_times(self, horizon: float, rng: np.random.Generator) -> List[float]:
+        if self._rate == 0 or horizon == 0:
+            return []
+        # Sample the number of events, then place them uniformly: conditional
+        # on the count, Poisson event times are i.i.d. uniform on the horizon.
+        count = rng.poisson(self._rate * horizon)
+        return list(np.sort(rng.uniform(0.0, horizon, size=count)))
+
+
+class PeriodicChangeProcess(ChangeProcess):
+    """Deterministic change process: one change every ``interval`` days."""
+
+    def __init__(self, interval: float, phase: float = 0.0) -> None:
+        super().__init__()
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if phase < 0:
+            raise ValueError("phase must be non-negative")
+        self._interval = interval
+        self._phase = phase % interval
+
+    @property
+    def mean_rate(self) -> float:
+        return 1.0 / self._interval
+
+    def _sample_change_times(self, horizon: float, rng: np.random.Generator) -> List[float]:
+        times = []
+        t = self._phase if self._phase > 0 else self._interval
+        while t <= horizon:
+            times.append(t)
+            t += self._interval
+        return times
+
+
+class BurstyChangeProcess(ChangeProcess):
+    """Bursts of changes separated by exponential quiet periods.
+
+    Burst arrival follows a Poisson process with rate ``burst_rate``; each
+    burst contains ``burst_size`` changes spread over ``burst_duration`` days.
+    A daily observer sees at most one change per day, so what it estimates is
+    the interval between bursts — the situation of Figure 1(b).
+    """
+
+    def __init__(self, burst_rate: float, burst_size: int = 5, burst_duration: float = 0.5) -> None:
+        super().__init__()
+        if burst_rate < 0:
+            raise ValueError("burst_rate must be non-negative")
+        if burst_size < 1:
+            raise ValueError("burst_size must be at least 1")
+        if burst_duration < 0:
+            raise ValueError("burst_duration must be non-negative")
+        self._burst_rate = burst_rate
+        self._burst_size = burst_size
+        self._burst_duration = burst_duration
+
+    @property
+    def mean_rate(self) -> float:
+        return self._burst_rate * self._burst_size
+
+    @property
+    def burst_rate(self) -> float:
+        """Expected number of bursts per day."""
+        return self._burst_rate
+
+    def _sample_change_times(self, horizon: float, rng: np.random.Generator) -> List[float]:
+        if self._burst_rate == 0 or horizon == 0:
+            return []
+        n_bursts = rng.poisson(self._burst_rate * horizon)
+        burst_starts = np.sort(rng.uniform(0.0, horizon, size=n_bursts))
+        times: List[float] = []
+        for start in burst_starts:
+            offsets = rng.uniform(0.0, self._burst_duration, size=self._burst_size)
+            for offset in offsets:
+                t = start + offset
+                if t <= horizon:
+                    times.append(float(t))
+        return times
+
+
+class NeverChanges(ChangeProcess):
+    """A page whose content never changes (the static edu/gov tail)."""
+
+    @property
+    def mean_rate(self) -> float:
+        return 0.0
+
+    def _sample_change_times(self, horizon: float, rng: np.random.Generator) -> List[float]:
+        return []

@@ -1,0 +1,166 @@
+"""The simulated web: the ground-truth oracle queried by the fetch substrate.
+
+:class:`SimulatedWeb` aggregates all sites and pages, provides URL lookup,
+and exposes the oracle queries the rest of the system needs:
+
+* ``snapshot(url, t)`` — what a fetch of ``url`` at virtual time ``t``
+  returns (used by the fetcher);
+* ``exists(url, t)`` — whether the URL resolves at time ``t``;
+* ``is_up_to_date(url, checksum_version, t)`` — whether a stored copy taken
+  at some earlier version is still current (used by the freshness metric,
+  which by definition compares the local collection against the live web);
+* per-domain and per-site enumeration used by the experiment package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.simweb.page import PageSnapshot, SimulatedPage
+from repro.simweb.site import SimulatedSite
+
+
+class SimulatedWeb:
+    """Container for all sites and pages of the synthetic web.
+
+    Args:
+        horizon_days: The virtual-time horizon over which every page's change
+            process has been materialised. Queries past the horizon are
+            rejected to avoid silently reading unsampled behaviour.
+    """
+
+    def __init__(self, horizon_days: float) -> None:
+        if horizon_days <= 0:
+            raise ValueError("horizon_days must be positive")
+        self.horizon_days = horizon_days
+        self._sites: Dict[str, SimulatedSite] = {}
+        self._pages: Dict[str, SimulatedPage] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_site(self, site: SimulatedSite) -> None:
+        """Register a site and all of its pages."""
+        if site.site_id in self._sites:
+            raise ValueError(f"duplicate site id {site.site_id}")
+        self._sites[site.site_id] = site
+        for page in site.all_pages:
+            self._register_page(page)
+
+    def _register_page(self, page: SimulatedPage) -> None:
+        if page.url in self._pages:
+            raise ValueError(f"duplicate URL {page.url}")
+        self._pages[page.url] = page
+
+    def add_page(self, page: SimulatedPage) -> None:
+        """Register a page created after its site was added."""
+        site = self._sites.get(page.site_id)
+        if site is None:
+            raise KeyError(f"unknown site {page.site_id}")
+        if page.url not in site:
+            site.add_page(page)
+        self._register_page(page)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def sites(self) -> Sequence[SimulatedSite]:
+        """All registered sites."""
+        return tuple(self._sites.values())
+
+    @property
+    def n_sites(self) -> int:
+        """Number of registered sites."""
+        return len(self._sites)
+
+    @property
+    def n_pages(self) -> int:
+        """Number of registered pages (alive or not)."""
+        return len(self._pages)
+
+    def site(self, site_id: str) -> SimulatedSite:
+        """Look up a site by id."""
+        return self._sites[site_id]
+
+    def page(self, url: str) -> SimulatedPage:
+        """Look up a page by URL."""
+        return self._pages[url]
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._pages
+
+    def pages(self) -> Iterator[SimulatedPage]:
+        """Iterate over every page in the web."""
+        return iter(self._pages.values())
+
+    def urls(self) -> Iterable[str]:
+        """All known URLs."""
+        return self._pages.keys()
+
+    def seed_urls(self) -> List[str]:
+        """Root URLs of every site — the natural crawl seeds."""
+        return [site.root_url for site in self._sites.values()]
+
+    def sites_in_domain(self, domain: str) -> List[SimulatedSite]:
+        """All sites belonging to the given top-level domain."""
+        return [site for site in self._sites.values() if site.domain == domain]
+
+    def domains(self) -> List[str]:
+        """Sorted list of domains present in the web."""
+        return sorted({site.domain for site in self._sites.values()})
+
+    # ------------------------------------------------------------------ #
+    # Oracle queries
+    # ------------------------------------------------------------------ #
+    def exists(self, url: str, t: float) -> bool:
+        """True when ``url`` resolves at virtual time ``t``."""
+        self._check_time(t)
+        page = self._pages.get(url)
+        return page is not None and page.exists_at(t)
+
+    def snapshot(self, url: str, t: float) -> Optional[PageSnapshot]:
+        """Snapshot of ``url`` at time ``t`` or ``None`` when it is missing."""
+        self._check_time(t)
+        page = self._pages.get(url)
+        if page is None or not page.exists_at(t):
+            return None
+        return page.snapshot_at(t)
+
+    def current_version(self, url: str, t: float) -> Optional[int]:
+        """Live content version of ``url`` at time ``t`` (None when missing)."""
+        self._check_time(t)
+        page = self._pages.get(url)
+        if page is None or not page.exists_at(t):
+            return None
+        return page.version_at(t)
+
+    def is_up_to_date(self, url: str, stored_version: int, t: float) -> bool:
+        """Whether a copy stored at ``stored_version`` is still current at ``t``.
+
+        A copy of a page that no longer exists is, by definition, not
+        up to date (the real-world counterpart of the local copy is gone).
+        """
+        live_version = self.current_version(url, t)
+        return live_version is not None and live_version == stored_version
+
+    def live_urls_at(self, t: float) -> List[str]:
+        """URLs of all pages that exist at time ``t``."""
+        self._check_time(t)
+        return [url for url, page in self._pages.items() if page.exists_at(t)]
+
+    def mean_change_rate(self) -> float:
+        """Average page change rate over the whole web (changes/day)."""
+        if not self._pages:
+            return 0.0
+        total = sum(page.change_process.mean_rate for page in self._pages.values())
+        return total / len(self._pages)
+
+    def _check_time(self, t: float) -> None:
+        if t < 0:
+            raise ValueError("virtual time cannot be negative")
+        if t > self.horizon_days + 1e-9:
+            raise ValueError(
+                f"virtual time {t} is beyond the simulated horizon "
+                f"({self.horizon_days} days)"
+            )

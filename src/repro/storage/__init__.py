@@ -1,0 +1,31 @@
+"""Repository substrate: the crawler's local collection.
+
+The paper's WebBase repository stores the crawled copies of pages; the
+crawler either updates pages *in place* or builds a *shadow* collection that
+replaces the current one when a crawl cycle completes (Section 4, item 2).
+
+This package provides:
+
+* :class:`PageRecord` — the stored copy of one page (content, checksum,
+  fetch time, importance, change history);
+* :class:`Repository` — a bounded key-value store of page records;
+* :class:`InPlaceCollection` and :class:`ShadowCollection` — the two update
+  disciplines the paper compares, behind a common :class:`Collection`
+  interface (what users/queries see is ``current_records``);
+* :class:`InvertedIndex` — a small text index over the current collection,
+  standing in for the indexer the paper mentions alongside the repository.
+"""
+
+from repro.storage.records import PageRecord
+from repro.storage.repository import Repository
+from repro.storage.collection import Collection, InPlaceCollection, ShadowCollection
+from repro.storage.inverted_index import InvertedIndex
+
+__all__ = [
+    "PageRecord",
+    "Repository",
+    "Collection",
+    "InPlaceCollection",
+    "ShadowCollection",
+    "InvertedIndex",
+]

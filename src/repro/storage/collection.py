@@ -1,0 +1,164 @@
+"""In-place and shadowing collections.
+
+Section 4 (design choice 2) contrasts two ways a crawler can install newly
+fetched pages:
+
+* **in-place update** — the fetched copy immediately replaces the old copy
+  in the collection users query;
+* **shadowing** — fetched copies accumulate in a separate *crawler's
+  collection*; when the crawl cycle completes, the *current collection* is
+  atomically replaced by the crawler's collection.
+
+Both disciplines implement the same :class:`Collection` interface so that
+crawlers and metrics are agnostic of the choice. The freshness of what users
+actually see is always computed over :meth:`Collection.current_records`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from repro.storage.records import PageRecord
+from repro.storage.repository import Repository
+
+
+class Collection(ABC):
+    """Common interface of the two update disciplines."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+
+    @abstractmethod
+    def store(self, record: PageRecord) -> None:
+        """Install a fetched page copy (new page or re-fetch)."""
+
+    @abstractmethod
+    def discard(self, url: str) -> Optional[PageRecord]:
+        """Remove a page from the crawler's working collection."""
+
+    @abstractmethod
+    def current_records(self) -> List[PageRecord]:
+        """Records visible to users/queries right now."""
+
+    @abstractmethod
+    def working_records(self) -> List[PageRecord]:
+        """Records in the crawler's working collection (same as current for
+        in-place updates; the shadow space for a shadowing collection)."""
+
+    @abstractmethod
+    def get_working(self, url: str) -> Optional[PageRecord]:
+        """Working-collection record for ``url`` (None when absent)."""
+
+    @abstractmethod
+    def complete_cycle(self, at: float) -> None:
+        """Signal that a crawl cycle finished at virtual time ``at``."""
+
+    def current_size(self) -> int:
+        """Number of records users can currently query."""
+        return len(self.current_records())
+
+
+class InPlaceCollection(Collection):
+    """A collection whose pages are updated in place.
+
+    New and re-fetched pages become visible to users immediately; there is a
+    single repository that both the crawler and queries see.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        super().__init__(capacity)
+        self._repository = Repository(capacity)
+
+    @property
+    def repository(self) -> Repository:
+        """The single underlying repository."""
+        return self._repository
+
+    def store(self, record: PageRecord) -> None:
+        if record.url in self._repository:
+            self._repository.update(record)
+        else:
+            self._repository.save(record)
+
+    def discard(self, url: str) -> Optional[PageRecord]:
+        if url not in self._repository:
+            return None
+        return self._repository.discard(url)
+
+    def current_records(self) -> List[PageRecord]:
+        return self._repository.records()
+
+    def working_records(self) -> List[PageRecord]:
+        return self._repository.records()
+
+    def get_working(self, url: str) -> Optional[PageRecord]:
+        return self._repository.get(url)
+
+    def complete_cycle(self, at: float) -> None:
+        """In-place collections have no cycle boundary; this is a no-op."""
+
+
+class ShadowCollection(Collection):
+    """A collection maintained by shadowing.
+
+    The crawler writes into the *shadow* repository. Queries read the
+    *current* repository, which is only replaced when :meth:`complete_cycle`
+    is called — that is the instant the paper's Figure 8 marks with dotted
+    lines, where the freshness of the current collection jumps to the
+    freshness of the crawler's collection.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        super().__init__(capacity)
+        self._shadow = Repository(capacity)
+        self._current = Repository(capacity)
+        self._swap_times: List[float] = []
+
+    @property
+    def shadow_repository(self) -> Repository:
+        """The crawler's (shadow) repository."""
+        return self._shadow
+
+    @property
+    def current_repository(self) -> Repository:
+        """The repository users currently query."""
+        return self._current
+
+    @property
+    def swap_times(self) -> List[float]:
+        """Virtual times at which the current collection was replaced."""
+        return list(self._swap_times)
+
+    def store(self, record: PageRecord) -> None:
+        if record.url in self._shadow:
+            self._shadow.update(record)
+        else:
+            self._shadow.save(record)
+
+    def discard(self, url: str) -> Optional[PageRecord]:
+        if url not in self._shadow:
+            return None
+        return self._shadow.discard(url)
+
+    def current_records(self) -> List[PageRecord]:
+        return self._current.records()
+
+    def working_records(self) -> List[PageRecord]:
+        return self._shadow.records()
+
+    def get_working(self, url: str) -> Optional[PageRecord]:
+        return self._shadow.get(url)
+
+    def complete_cycle(self, at: float) -> None:
+        """Atomically replace the current collection with the shadow one.
+
+        The shadow space is cleared afterwards: the next cycle collects a
+        brand new set of pages from scratch, as described in Section 4.
+        """
+        replacement = Repository(self.capacity)
+        for record in self._shadow.records():
+            replacement.save(record)
+        self._current = replacement
+        self._shadow = Repository(self.capacity)
+        self._swap_times.append(at)

@@ -1,0 +1,124 @@
+"""A small inverted index over the collection.
+
+The paper notes that the crawled collection typically feeds an indexer and
+that with shadowing "the current collection can still handle users' requests
+during this period" while the new index is built. This module provides the
+indexing substrate so that examples can demonstrate both disciplines
+end-to-end: in-place indexing (documents added and removed incrementally)
+and rebuild-from-scratch indexing (as a shadowing deployment would do at the
+end of each cycle).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-case alphanumeric tokens of ``text``."""
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+class InvertedIndex:
+    """Term -> postings index with incremental add/remove and TF ranking."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[str, int]] = defaultdict(dict)
+        self._doc_lengths: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Index (or re-index) a document.
+
+        Re-indexing an existing document first removes its old postings, so
+        the index always reflects exactly one version of each document —
+        this is what in-place updates require.
+        """
+        if doc_id in self._doc_lengths:
+            self.remove_document(doc_id)
+        tokens = tokenize(text)
+        counts = Counter(tokens)
+        for term, count in counts.items():
+            self._postings[term][doc_id] = count
+        self._doc_lengths[doc_id] = len(tokens)
+
+    def remove_document(self, doc_id: str) -> bool:
+        """Remove a document; returns False when it was not indexed."""
+        if doc_id not in self._doc_lengths:
+            return False
+        del self._doc_lengths[doc_id]
+        empty_terms = []
+        for term, postings in self._postings.items():
+            postings.pop(doc_id, None)
+            if not postings:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+        return True
+
+    def clear(self) -> None:
+        """Drop every document (used when rebuilding from scratch)."""
+        self._postings.clear()
+        self._doc_lengths.clear()
+
+    @classmethod
+    def build(cls, documents: Iterable[Tuple[str, str]]) -> "InvertedIndex":
+        """Build a fresh index from ``(doc_id, text)`` pairs.
+
+        This is the batch path a shadowing deployment uses at the end of each
+        crawl cycle.
+        """
+        index = cls()
+        for doc_id, text in documents:
+            index.add_document(doc_id, text)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_documents(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_lengths)
+
+    @property
+    def n_terms(self) -> int:
+        """Number of distinct terms."""
+        return len(self._postings)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_lengths
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term.lower(), {}))
+
+    def search(self, query: str, limit: Optional[int] = 10) -> List[Tuple[str, float]]:
+        """Rank documents for ``query`` by length-normalised term frequency.
+
+        Args:
+            query: Free-text query.
+            limit: Maximum number of results, or ``None`` for all matches.
+
+        Returns:
+            ``(doc_id, score)`` pairs sorted by descending score (ties broken
+            by document id for determinism).
+        """
+        terms = tokenize(query)
+        if not terms:
+            return []
+        scores: Dict[str, float] = defaultdict(float)
+        for term in terms:
+            for doc_id, count in self._postings.get(term, {}).items():
+                length = self._doc_lengths.get(doc_id, 1)
+                scores[doc_id] += count / max(1, length)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        if limit is None:
+            return ranked
+        return ranked[:limit]

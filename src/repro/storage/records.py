@@ -1,0 +1,90 @@
+"""Stored page records.
+
+A :class:`PageRecord` is the unit the repository stores: the local copy of a
+page together with the bookkeeping the incremental crawler needs — when the
+copy was fetched, its checksum (for change detection), the page's estimated
+importance (for the refinement decision) and the number of times the crawler
+has visited and seen the page change (for the frequency estimators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+
+@dataclass
+class PageRecord:
+    """The repository's copy of one page.
+
+    Attributes:
+        url: The page URL.
+        content: The stored body.
+        checksum: Checksum of ``content`` at the time of the last fetch.
+        fetched_at: Virtual time of the last successful fetch.
+        first_fetched_at: Virtual time of the first successful fetch.
+        outlinks: Out-links extracted at the last fetch.
+        importance: Latest importance score assigned by the RankingModule.
+        visit_count: Number of times the crawler has fetched this page.
+        change_count: Number of visits at which a change was detected.
+    """
+
+    url: str
+    content: str
+    checksum: str
+    fetched_at: float
+    first_fetched_at: float
+    outlinks: Sequence[str] = field(default_factory=tuple)
+    importance: float = 0.0
+    visit_count: int = 1
+    change_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fetched_at < 0 or self.first_fetched_at < 0:
+            raise ValueError("fetch times must be non-negative")
+        if self.fetched_at < self.first_fetched_at:
+            raise ValueError("fetched_at cannot precede first_fetched_at")
+        if self.visit_count < 1:
+            raise ValueError("a stored record implies at least one visit")
+        if self.change_count < 0 or self.change_count > self.visit_count:
+            raise ValueError("change_count must be between 0 and visit_count")
+
+    def refreshed(
+        self,
+        content: str,
+        checksum: str,
+        fetched_at: float,
+        outlinks: Sequence[str],
+    ) -> "PageRecord":
+        """Return a new record reflecting a re-fetch of the page.
+
+        The change counter is incremented when the checksum differs from the
+        stored one, which is exactly how the UpdateModule detects changes.
+        """
+        if fetched_at < self.fetched_at:
+            raise ValueError("re-fetch time cannot precede the previous fetch")
+        changed = checksum != self.checksum
+        return replace(
+            self,
+            content=content,
+            checksum=checksum,
+            fetched_at=fetched_at,
+            outlinks=tuple(outlinks),
+            visit_count=self.visit_count + 1,
+            change_count=self.change_count + (1 if changed else 0),
+        )
+
+    def with_importance(self, importance: float) -> "PageRecord":
+        """Return a copy of the record with an updated importance score."""
+        return replace(self, importance=importance)
+
+    @property
+    def observed_change_fraction(self) -> float:
+        """Fraction of visits at which a change was observed."""
+        if self.visit_count == 0:
+            return 0.0
+        return self.change_count / self.visit_count
+
+    def observation_span(self) -> float:
+        """Days between the first and the most recent fetch."""
+        return self.fetched_at - self.first_fetched_at

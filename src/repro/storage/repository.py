@@ -1,0 +1,135 @@
+"""A bounded store of page records.
+
+The paper's conceptual model (Algorithm 5.1) assumes "the local collection
+maintains a fixed number of pages" and is at capacity from the beginning.
+:class:`Repository` implements that bounded store: saving a page when the
+repository is full requires an explicit discard first, which is the
+refinement decision the RankingModule makes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.storage.records import PageRecord
+
+
+class RepositoryFullError(RuntimeError):
+    """Raised when saving a new page into a repository that is at capacity."""
+
+
+class Repository:
+    """In-memory bounded store of :class:`PageRecord` objects.
+
+    Args:
+        capacity: Maximum number of records; ``None`` means unbounded
+            (useful for the monitoring experiment, which stores whatever it
+            observes).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be at least 1 when given")
+        self.capacity = capacity
+        self._records: Dict[str, PageRecord] = {}
+
+    # ------------------------------------------------------------------ #
+    # Basic mapping behaviour
+    # ------------------------------------------------------------------ #
+    def __contains__(self, url: str) -> bool:
+        return url in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PageRecord]:
+        return iter(self._records.values())
+
+    def get(self, url: str) -> Optional[PageRecord]:
+        """The record for ``url`` or ``None`` if it is not stored."""
+        return self._records.get(url)
+
+    def require(self, url: str) -> PageRecord:
+        """The record for ``url``; raises ``KeyError`` when missing."""
+        return self._records[url]
+
+    def urls(self) -> Iterable[str]:
+        """All stored URLs."""
+        return self._records.keys()
+
+    def records(self) -> List[PageRecord]:
+        """All stored records as a list (a snapshot, safe to mutate)."""
+        return list(self._records.values())
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    @property
+    def is_full(self) -> bool:
+        """True when the repository holds ``capacity`` records."""
+        return self.capacity is not None and len(self._records) >= self.capacity
+
+    def save(self, record: PageRecord) -> None:
+        """Store a new page record.
+
+        Raises:
+            RepositoryFullError: When the repository is at capacity and the
+                URL is not already stored. The caller (RankingModule) must
+                discard a page first — this mirrors Steps [7]-[9] of
+                Algorithm 5.1.
+            ValueError: When the URL is already stored; use :meth:`update`.
+        """
+        if record.url in self._records:
+            raise ValueError(
+                f"{record.url} is already stored; use update() for re-fetches"
+            )
+        if self.is_full:
+            raise RepositoryFullError(
+                f"repository is at capacity ({self.capacity}); discard a page first"
+            )
+        self._records[record.url] = record
+
+    def update(self, record: PageRecord) -> None:
+        """Replace the stored record for an already-stored URL.
+
+        Raises:
+            KeyError: When the URL is not currently stored.
+        """
+        if record.url not in self._records:
+            raise KeyError(f"{record.url} is not stored; use save() for new pages")
+        self._records[record.url] = record
+
+    def discard(self, url: str) -> PageRecord:
+        """Remove and return the record for ``url``.
+
+        Raises:
+            KeyError: When the URL is not stored.
+        """
+        return self._records.pop(url)
+
+    def clear(self) -> None:
+        """Remove every record."""
+        self._records.clear()
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def lowest_importance_url(self) -> Optional[str]:
+        """URL of the stored page with the lowest importance score.
+
+        The RankingModule discards this page when a more important candidate
+        shows up; ties are broken by URL for determinism.
+        """
+        if not self._records:
+            return None
+        return min(self._records.values(), key=lambda r: (r.importance, r.url)).url
+
+    def mean_importance(self) -> float:
+        """Average importance of the stored pages (0 for an empty store)."""
+        if not self._records:
+            return 0.0
+        return sum(record.importance for record in self._records.values()) / len(self._records)
+
+    def total_visits(self) -> int:
+        """Total number of fetches recorded across all stored pages."""
+        return sum(record.visit_count for record in self._records.values())

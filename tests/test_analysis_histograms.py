@@ -1,0 +1,150 @@
+"""Tests for repro.analysis.histograms."""
+
+import pytest
+
+from repro.analysis.histograms import (
+    CHANGE_INTERVAL_BUCKETS,
+    DAYS_PER_4_MONTHS,
+    DAYS_PER_MONTH,
+    LIFESPAN_BUCKETS,
+    Bucket,
+    BucketedHistogram,
+    change_interval_histogram,
+    lifespan_histogram,
+)
+
+
+class TestBucket:
+    def test_contains_inside(self):
+        bucket = Bucket("test", 1.0, 7.0)
+        assert bucket.contains(3.0)
+
+    def test_contains_upper_edge_inclusive(self):
+        bucket = Bucket("test", 1.0, 7.0)
+        assert bucket.contains(7.0)
+
+    def test_contains_lower_edge_exclusive(self):
+        bucket = Bucket("test", 1.0, 7.0)
+        assert not bucket.contains(1.0)
+
+    def test_contains_outside(self):
+        bucket = Bucket("test", 1.0, 7.0)
+        assert not bucket.contains(10.0)
+
+    def test_infinite_upper_bound(self):
+        bucket = Bucket("tail", 120.0, float("inf"))
+        assert bucket.contains(1e9)
+
+
+class TestBucketDefinitions:
+    def test_change_interval_buckets_match_paper_axis(self):
+        labels = [b.label for b in CHANGE_INTERVAL_BUCKETS]
+        assert labels == [
+            "<=1day",
+            ">1day,<=1week",
+            ">1week,<=1month",
+            ">1month,<=4months",
+            ">4months",
+        ]
+
+    def test_lifespan_buckets_match_paper_axis(self):
+        labels = [b.label for b in LIFESPAN_BUCKETS]
+        assert labels == [
+            "<=1week",
+            ">1week,<=1month",
+            ">1month,<=4months",
+            ">4months",
+        ]
+
+    def test_buckets_are_contiguous(self):
+        for buckets in (CHANGE_INTERVAL_BUCKETS, LIFESPAN_BUCKETS):
+            for left, right in zip(buckets, buckets[1:]):
+                assert left.upper == right.lower
+
+    def test_month_constants(self):
+        assert DAYS_PER_MONTH == 30.0
+        assert DAYS_PER_4_MONTHS == 120.0
+
+
+class TestBucketedHistogram:
+    def test_requires_buckets(self):
+        with pytest.raises(ValueError):
+            BucketedHistogram([])
+
+    def test_add_and_counts(self):
+        histogram = BucketedHistogram(CHANGE_INTERVAL_BUCKETS)
+        histogram.add(0.5)
+        histogram.add(3.0)
+        histogram.add(3.5)
+        assert histogram.counts() == [1, 2, 0, 0, 0]
+        assert histogram.total == 3
+
+    def test_values_below_first_bucket_go_to_first_bucket(self):
+        histogram = BucketedHistogram(CHANGE_INTERVAL_BUCKETS)
+        histogram.add(0.0)
+        assert histogram.counts()[0] == 1
+
+    def test_infinite_value_goes_to_last_bucket(self):
+        histogram = BucketedHistogram(CHANGE_INTERVAL_BUCKETS)
+        histogram.add(float("inf"))
+        assert histogram.counts()[-1] == 1
+
+    def test_fractions_sum_to_one(self):
+        histogram = BucketedHistogram(LIFESPAN_BUCKETS)
+        histogram.add_many([1.0, 10.0, 45.0, 200.0, 3.0])
+        assert abs(sum(histogram.fractions()) - 1.0) < 1e-12
+
+    def test_fractions_empty(self):
+        histogram = BucketedHistogram(LIFESPAN_BUCKETS)
+        assert histogram.fractions() == [0.0] * 4
+
+    def test_labelled_fractions(self):
+        histogram = BucketedHistogram(LIFESPAN_BUCKETS)
+        histogram.add_many([1.0, 1.0, 200.0, 200.0])
+        fractions = histogram.labelled_fractions()
+        assert fractions["<=1week"] == pytest.approx(0.5)
+        assert fractions[">4months"] == pytest.approx(0.5)
+
+    def test_fraction_for_unknown_label(self):
+        histogram = BucketedHistogram(LIFESPAN_BUCKETS)
+        with pytest.raises(KeyError):
+            histogram.fraction_for("bogus")
+
+    def test_merge(self):
+        first = BucketedHistogram(LIFESPAN_BUCKETS)
+        second = BucketedHistogram(LIFESPAN_BUCKETS)
+        first.add(1.0)
+        second.add(200.0)
+        merged = first.merge(second)
+        assert merged.total == 2
+        assert merged.counts()[0] == 1
+        assert merged.counts()[-1] == 1
+
+    def test_merge_different_buckets_rejected(self):
+        first = BucketedHistogram(LIFESPAN_BUCKETS)
+        second = BucketedHistogram(CHANGE_INTERVAL_BUCKETS)
+        with pytest.raises(ValueError):
+            first.merge(second)
+
+    def test_merge_does_not_mutate_operands(self):
+        first = BucketedHistogram(LIFESPAN_BUCKETS)
+        second = BucketedHistogram(LIFESPAN_BUCKETS)
+        first.add(1.0)
+        second.add(1.0)
+        first.merge(second)
+        assert first.total == 1
+        assert second.total == 1
+
+
+class TestConvenienceConstructors:
+    def test_change_interval_histogram_prefilled(self):
+        histogram = change_interval_histogram([0.5, 100.0])
+        assert histogram.total == 2
+
+    def test_lifespan_histogram_prefilled(self):
+        histogram = lifespan_histogram([5.0, 500.0])
+        assert histogram.total == 2
+
+    def test_empty_constructors(self):
+        assert change_interval_histogram().total == 0
+        assert lifespan_histogram().total == 0

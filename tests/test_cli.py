@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_WEB_ARGS = ["--site-scale", "0.03", "--pages-per-site", "12", "--horizon-days", "40"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_parses_web_stats(self):
+        args = build_parser().parse_args(FAST_WEB_ARGS + ["web-stats"])
+        assert args.command == "web-stats"
+        assert args.site_scale == 0.03
+
+    def test_parses_run_crawler_options(self):
+        args = build_parser().parse_args(
+            FAST_WEB_ARGS
+            + ["run-crawler", "--mode", "periodic", "--capacity", "50",
+               "--budget", "100", "--duration", "10"]
+        )
+        assert args.mode == "periodic"
+        assert args.capacity == 50
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-crawler", "--mode", "bogus"])
+
+
+class TestCommands:
+    def test_web_stats(self, capsys):
+        assert main(FAST_WEB_ARGS + ["web-stats"]) == 0
+        output = capsys.readouterr().out
+        assert "synthetic web" in output
+        assert "sites" in output
+
+    def test_compare_policies(self, capsys):
+        assert main(["compare-policies"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "steady / in-place" in output
+
+    def test_run_experiment_short(self, capsys):
+        assert main(FAST_WEB_ARGS + ["run-experiment", "--days", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 2(a)" in output
+        assert "Figure 5" in output
+
+    def test_run_incremental_crawler(self, capsys):
+        assert main(
+            FAST_WEB_ARGS
+            + ["run-crawler", "--mode", "incremental", "--capacity", "40",
+               "--budget", "120", "--duration", "8"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "mean freshness" in output
+
+    def test_run_periodic_crawler(self, capsys):
+        assert main(
+            FAST_WEB_ARGS
+            + ["run-crawler", "--mode", "periodic", "--capacity", "40",
+               "--budget", "200", "--duration", "12", "--cycle-days", "5"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "periodic" in output

@@ -1,0 +1,187 @@
+"""Tests for AllUrls, CollUrls and the quality metric."""
+
+import pytest
+
+from repro.core.allurls import AllUrls
+from repro.core.collurls import CollUrls
+from repro.core.quality import collection_quality, true_page_importance
+
+
+class TestAllUrls:
+    def test_add_and_membership(self):
+        registry = AllUrls()
+        assert registry.add("http://a/", discovered_at=1.0)
+        assert "http://a/" in registry
+        assert len(registry) == 1
+
+    def test_add_duplicate_returns_false(self):
+        registry = AllUrls()
+        registry.add("http://a/", 1.0)
+        assert not registry.add("http://a/", 2.0)
+        assert registry.info("http://a/").discovered_at == 1.0
+
+    def test_add_many(self):
+        registry = AllUrls()
+        assert registry.add_many(["http://a/", "http://b/", "http://a/"], 0.0) == 2
+
+    def test_record_link_tracks_inlinks(self):
+        registry = AllUrls()
+        registry.record_link("http://src/", "http://dst/", 1.0)
+        registry.record_link("http://other/", "http://dst/", 2.0)
+        assert registry.info("http://dst/").inlink_count == 2
+
+    def test_record_links_registers_targets(self):
+        registry = AllUrls()
+        registry.record_links("http://src/", ["http://a/", "http://b/"], 1.0)
+        assert "http://a/" in registry
+        assert "http://b/" in registry
+
+    def test_candidates_excludes_given_urls(self):
+        registry = AllUrls()
+        registry.add_many(["http://a/", "http://b/", "http://c/"], 0.0)
+        candidates = registry.candidates(exclude=["http://a/"])
+        assert {info.url for info in candidates} == {"http://b/", "http://c/"}
+
+    def test_candidates_skip_failed_urls(self):
+        registry = AllUrls()
+        registry.add_many(["http://a/", "http://dead/"], 0.0)
+        registry.record_failure("http://dead/", 5.0)
+        candidates = registry.candidates(exclude=[])
+        assert {info.url for info in candidates} == {"http://a/"}
+
+    def test_record_failure_on_unknown_url_is_noop(self):
+        registry = AllUrls()
+        registry.record_failure("http://ghost/", 1.0)
+        assert "http://ghost/" not in registry
+
+    def test_get_and_info(self):
+        registry = AllUrls()
+        registry.add("http://a/", 0.0)
+        assert registry.get("http://a/") is registry.info("http://a/")
+        assert registry.get("http://missing/") is None
+        with pytest.raises(KeyError):
+            registry.info("http://missing/")
+
+    def test_iteration(self):
+        registry = AllUrls()
+        registry.add_many(["http://a/", "http://b/"], 0.0)
+        assert set(registry) == {"http://a/", "http://b/"}
+        assert set(registry.urls()) == {"http://a/", "http://b/"}
+
+
+class TestCollUrls:
+    def test_pop_in_time_order(self):
+        queue = CollUrls()
+        queue.schedule("http://late/", 5.0)
+        queue.schedule("http://early/", 1.0)
+        queue.schedule("http://middle/", 3.0)
+        assert queue.pop()[0] == "http://early/"
+        assert queue.pop()[0] == "http://middle/"
+        assert queue.pop()[0] == "http://late/"
+        assert queue.pop() is None
+
+    def test_reschedule_replaces_entry(self):
+        queue = CollUrls()
+        queue.schedule("http://a/", 10.0)
+        queue.schedule("http://a/", 1.0)
+        assert len(queue) == 1
+        url, time = queue.pop()
+        assert url == "http://a/"
+        assert time == 1.0
+        assert queue.pop() is None
+
+    def test_schedule_front_jumps_the_queue(self):
+        queue = CollUrls()
+        queue.schedule("http://a/", 1.0)
+        queue.schedule("http://b/", 2.0)
+        queue.schedule_front("http://new/", now=5.0)
+        assert queue.pop()[0] == "http://new/"
+
+    def test_schedule_front_on_empty_queue(self):
+        queue = CollUrls()
+        queue.schedule_front("http://only/", now=3.0)
+        assert queue.pop()[0] == "http://only/"
+
+    def test_remove(self):
+        queue = CollUrls()
+        queue.schedule("http://a/", 1.0)
+        queue.schedule("http://b/", 2.0)
+        assert queue.remove("http://a/")
+        assert not queue.remove("http://a/")
+        assert queue.pop()[0] == "http://b/"
+
+    def test_peek_does_not_remove(self):
+        queue = CollUrls()
+        queue.schedule("http://a/", 1.0)
+        assert queue.peek()[0] == "http://a/"
+        assert queue.peek_time() == 1.0
+        assert len(queue) == 1
+
+    def test_peek_empty(self):
+        queue = CollUrls()
+        assert queue.peek() is None
+        assert queue.peek_time() is None
+
+    def test_contains_and_scheduled_time(self):
+        queue = CollUrls()
+        queue.schedule("http://a/", 4.0)
+        assert "http://a/" in queue
+        assert queue.scheduled_time("http://a/") == 4.0
+        assert queue.scheduled_time("http://b/") is None
+
+    def test_urls_listing(self):
+        queue = CollUrls()
+        queue.schedule("http://a/", 1.0)
+        queue.schedule("http://b/", 2.0)
+        assert set(queue.urls()) == {"http://a/", "http://b/"}
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = CollUrls()
+        queue.schedule("http://first/", 1.0)
+        queue.schedule("http://second/", 1.0)
+        assert queue.pop()[0] == "http://first/"
+        assert queue.pop()[0] == "http://second/"
+
+    def test_stale_heap_entries_skipped_after_removal(self):
+        queue = CollUrls()
+        queue.schedule("http://a/", 1.0)
+        queue.remove("http://a/")
+        queue.schedule("http://b/", 5.0)
+        assert queue.pop()[0] == "http://b/"
+
+
+class TestQuality:
+    def test_true_importance_sums_to_one(self, tiny_web):
+        importance = true_page_importance(tiny_web)
+        assert sum(importance.values()) == pytest.approx(1.0)
+        assert set(importance) == set(tiny_web.urls())
+
+    def test_roots_are_most_important(self, tiny_web):
+        importance = true_page_importance(tiny_web)
+        roots = set(tiny_web.seed_urls())
+        top_urls = sorted(importance, key=importance.get, reverse=True)[: len(roots)]
+        # Cross-site links point at root pages, so roots should dominate the top.
+        assert len(roots & set(top_urls)) >= len(roots) // 2
+
+    def test_perfect_collection_has_quality_one(self, tiny_web):
+        importance = true_page_importance(tiny_web)
+        best = sorted(importance, key=importance.get, reverse=True)[:10]
+        assert collection_quality(best, importance, capacity=10) == pytest.approx(1.0)
+
+    def test_worst_collection_has_low_quality(self, tiny_web):
+        importance = true_page_importance(tiny_web)
+        worst = sorted(importance, key=importance.get)[:10]
+        assert collection_quality(worst, importance, capacity=10) < 0.5
+
+    def test_empty_collection(self, tiny_web):
+        importance = true_page_importance(tiny_web)
+        assert collection_quality([], importance) == 0.0
+
+    def test_unknown_urls_contribute_nothing(self, tiny_web):
+        importance = true_page_importance(tiny_web)
+        assert collection_quality(["http://ghost/"], importance, capacity=1) == 0.0
+
+    def test_invalid_capacity(self, tiny_web):
+        importance = true_page_importance(tiny_web)
+        with pytest.raises(ValueError):
+            collection_quality(["x"], importance, capacity=0)

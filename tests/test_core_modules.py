@@ -1,0 +1,273 @@
+"""Tests for CrawlModule, UpdateModule and RankingModule."""
+
+import pytest
+
+from repro.core.allurls import AllUrls
+from repro.core.collurls import CollUrls
+from repro.core.crawl_module import CrawlModule
+from repro.core.ranking_module import RankingModule, RankingModuleConfig
+from repro.core.update_module import UpdateModule, UpdateModuleConfig
+from repro.fetch.fetcher import SimulatedFetcher
+from repro.storage.collection import InPlaceCollection
+
+
+def build_crawl_module(web, capacity=None):
+    fetcher = SimulatedFetcher(web, latency_days=0.0)
+    collection = InPlaceCollection(capacity=capacity)
+    allurls = AllUrls()
+    return CrawlModule(fetcher, collection, allurls), collection, allurls
+
+
+class TestCrawlModule:
+    def test_first_crawl_stores_record(self, tiny_web):
+        module, collection, allurls = build_crawl_module(tiny_web)
+        url = tiny_web.seed_urls()[0]
+        outcome = module.crawl(url, at=1.0)
+        assert outcome.stored
+        assert outcome.was_new
+        assert outcome.changed
+        assert collection.get_working(url) is not None
+
+    def test_links_forwarded_to_allurls(self, tiny_web):
+        module, _, allurls = build_crawl_module(tiny_web)
+        url = tiny_web.seed_urls()[0]
+        module.crawl(url, at=1.0)
+        for link in tiny_web.page(url).outlinks:
+            assert link in allurls
+
+    def test_refetch_without_change(self, tiny_web):
+        module, collection, _ = build_crawl_module(tiny_web)
+        static = next(
+            p.url for p in tiny_web.pages()
+            if p.change_process.mean_rate == 0.0 and p.lifespan is None
+            and p.created_at == 0.0
+        )
+        module.crawl(static, at=1.0)
+        outcome = module.crawl(static, at=20.0)
+        assert not outcome.changed
+        assert not outcome.was_new
+        assert collection.get_working(static).visit_count == 2
+
+    def test_refetch_detects_change(self, tiny_web):
+        module, collection, _ = build_crawl_module(tiny_web)
+        page = next(
+            p for p in tiny_web.pages()
+            if p.lifespan is None and p.created_at == 0.0
+            and len(p.change_process.change_times()) > 0
+        )
+        change_time = page.change_process.change_times()[0]
+        module.crawl(page.url, at=max(0.0, change_time - 1e-3))
+        outcome = module.crawl(page.url, at=change_time + 1e-3)
+        assert outcome.changed
+        assert collection.get_working(page.url).change_count == 1
+
+    def test_missing_page_not_stored(self, tiny_web):
+        module, collection, allurls = build_crawl_module(tiny_web)
+        allurls.add("http://ghost/", 0.0)
+        outcome = module.crawl("http://ghost/", at=1.0)
+        assert not outcome.stored
+        assert module.pages_failed == 1
+        assert allurls.info("http://ghost/").last_failed_at is not None
+
+    def test_fetch_counters(self, tiny_web):
+        module, _, _ = build_crawl_module(tiny_web)
+        module.crawl(tiny_web.seed_urls()[0], at=1.0)
+        module.crawl("http://ghost/", at=1.0)
+        assert module.pages_fetched == 1
+        assert module.pages_failed == 1
+
+    def test_discard(self, tiny_web):
+        module, collection, _ = build_crawl_module(tiny_web)
+        url = tiny_web.seed_urls()[0]
+        module.crawl(url, at=1.0)
+        assert module.discard(url) is not None
+        assert collection.get_working(url) is None
+
+
+class TestUpdateModule:
+    def _build(self, web, estimator="ep", policy=None, budget=500.0):
+        crawl_module, collection, allurls = build_crawl_module(web)
+        collurls = CollUrls()
+        config = UpdateModuleConfig(
+            crawl_budget_per_day=budget,
+            estimator=estimator,
+            default_interval_days=2.0,
+            reallocation_interval_days=1.0,
+        )
+        update = UpdateModule(collurls, crawl_module, config, revisit_policy=policy)
+        return update, collurls, collection
+
+    def test_process_next_on_empty_queue(self, tiny_web):
+        update, collurls, _ = self._build(tiny_web)
+        assert update.process_next(at=1.0) is None
+
+    def test_processed_url_is_rescheduled(self, tiny_web):
+        update, collurls, _ = self._build(tiny_web)
+        url = tiny_web.seed_urls()[0]
+        collurls.schedule(url, 0.0)
+        outcome = update.process_next(at=1.0)
+        assert outcome is not None
+        assert url in collurls
+        assert collurls.scheduled_time(url) > 1.0
+
+    def test_missing_page_is_dropped(self, tiny_web):
+        update, collurls, collection = self._build(tiny_web)
+        collurls.schedule("http://ghost/", 0.0)
+        update.process_next(at=1.0)
+        assert "http://ghost/" not in collurls
+        assert collection.get_working("http://ghost/") is None
+
+    def test_change_history_accumulates(self, tiny_web):
+        update, collurls, _ = self._build(tiny_web)
+        url = tiny_web.seed_urls()[0]
+        collurls.schedule(url, 0.0)
+        time = 0.5
+        for _ in range(5):
+            update.process_next(at=time)
+            time += 1.0
+        history = update.history(url)
+        assert history is not None
+        assert history.n_visits == 4  # first visit establishes the baseline
+
+    def test_rate_estimate_appears_after_revisits(self, tiny_web):
+        update, collurls, _ = self._build(tiny_web)
+        fast_url = next(
+            p.url for p in tiny_web.pages()
+            if p.change_process.mean_rate >= 1.0 and p.lifespan is None
+            and p.created_at == 0.0
+        )
+        collurls.schedule(fast_url, 0.0)
+        time = 0.5
+        for _ in range(10):
+            update.process_next(at=time)
+            time += 1.0
+        estimate = update.estimated_rate(fast_url)
+        assert estimate is not None
+        assert estimate > 0.1
+
+    def test_eb_estimator_mode(self, tiny_web):
+        update, collurls, _ = self._build(tiny_web, estimator="eb")
+        url = tiny_web.seed_urls()[0]
+        collurls.schedule(url, 0.0)
+        time = 0.5
+        for _ in range(5):
+            update.process_next(at=time)
+            time += 1.0
+        assert update.estimated_rate(url) is not None
+
+    def test_changes_detected_counter(self, tiny_web):
+        update, collurls, _ = self._build(tiny_web)
+        fast_url = next(
+            p.url for p in tiny_web.pages()
+            if p.change_process.mean_rate >= 1.0 and p.lifespan is None
+            and p.created_at == 0.0
+        )
+        collurls.schedule(fast_url, 0.0)
+        time = 0.5
+        for _ in range(10):
+            update.process_next(at=time)
+            time += 2.0
+        assert update.changes_detected > 0
+
+    def test_forget(self, tiny_web):
+        update, collurls, _ = self._build(tiny_web)
+        url = tiny_web.seed_urls()[0]
+        collurls.schedule(url, 0.0)
+        update.process_next(at=1.0)
+        update.forget(url)
+        assert update.history(url) is None
+
+    def test_set_importance_accepted(self, tiny_web):
+        update, _, _ = self._build(tiny_web)
+        update.set_importance({"http://a/": 0.5})
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            UpdateModuleConfig(crawl_budget_per_day=0.0)
+        with pytest.raises(ValueError):
+            UpdateModuleConfig(estimator="bogus")
+        with pytest.raises(ValueError):
+            UpdateModuleConfig(default_interval_days=0.0)
+
+
+class TestRankingModule:
+    def _build(self, web, capacity=20, metric="pagerank"):
+        crawl_module, collection, allurls = build_crawl_module(web, capacity=capacity)
+        collurls = CollUrls()
+        ranking = RankingModule(
+            allurls,
+            collurls,
+            collection,
+            crawl_module,
+            RankingModuleConfig(importance_metric=metric),
+            capacity=capacity,
+        )
+        return ranking, crawl_module, collection, allurls, collurls
+
+    def test_admits_candidates_below_capacity(self, tiny_web):
+        ranking, crawl_module, collection, allurls, collurls = self._build(tiny_web)
+        seed = tiny_web.seed_urls()[0]
+        crawl_module.crawl(seed, at=0.5)
+        result = ranking.refine(at=1.0)
+        assert result.admitted
+        assert all(url in collurls for url in result.admitted)
+
+    def test_importance_stored_on_records(self, tiny_web):
+        ranking, crawl_module, collection, _, _ = self._build(tiny_web)
+        for url in tiny_web.seed_urls()[:5]:
+            crawl_module.crawl(url, at=0.5)
+        ranking.refine(at=1.0)
+        assert any(r.importance > 0 for r in collection.working_records())
+
+    def test_replacement_at_capacity(self, tiny_web):
+        capacity = 5
+        ranking, crawl_module, collection, allurls, collurls = self._build(
+            tiny_web, capacity=capacity
+        )
+        # Fill the collection with deep, unimportant pages of one site.
+        site = tiny_web.sites[0]
+        deep_pages = sorted(site.all_pages, key=lambda p: -p.depth)[:capacity]
+        for page in deep_pages:
+            crawl_module.crawl(page.url, at=0.5)
+            collurls.schedule(page.url, 10.0)
+        # Make the crawler aware of every root page (heavily linked).
+        for root in tiny_web.seed_urls():
+            allurls.add(root, 0.6)
+            for i, source in enumerate(deep_pages):
+                allurls.record_link(source.url, root, 0.6)
+        result = ranking.refine(at=1.0)
+        assert ranking.pages_replaced >= 0
+        total_tracked = len(collection.working_records()) + sum(
+            1 for url in collurls.urls() if collection.get_working(url) is None
+        )
+        assert total_tracked <= capacity + len(result.admitted)
+
+    def test_hits_metric_mode(self, tiny_web):
+        ranking, crawl_module, _, _, _ = self._build(tiny_web, metric="hits")
+        for url in tiny_web.seed_urls()[:3]:
+            crawl_module.crawl(url, at=0.5)
+        result = ranking.refine(at=1.0)
+        assert isinstance(result.importance, dict)
+
+    def test_empty_collection_refine(self, tiny_web):
+        ranking, _, _, _, _ = self._build(tiny_web)
+        result = ranking.refine(at=1.0)
+        assert result.importance == {}
+        assert result.replacements == ()
+
+    def test_importance_of_collection(self, tiny_web):
+        ranking, crawl_module, _, _, _ = self._build(tiny_web)
+        seed = tiny_web.seed_urls()[0]
+        crawl_module.crawl(seed, at=0.5)
+        ranking.refine(at=1.0)
+        assert seed in ranking.importance_of_collection()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RankingModuleConfig(importance_metric="bogus")
+        with pytest.raises(ValueError):
+            RankingModuleConfig(max_replacements_per_scan=-1)
+        with pytest.raises(ValueError):
+            RankingModuleConfig(replacement_margin=-0.5)
+        with pytest.raises(ValueError):
+            RankingModuleConfig(damping=1.5)

@@ -1,0 +1,246 @@
+"""Tests for the EP and EB change-frequency estimators."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.bayesian_estimator import (
+    DEFAULT_CLASSES,
+    BayesianClassEstimator,
+    FrequencyClass,
+)
+from repro.estimation.change_history import ChangeHistory
+from repro.estimation.poisson_estimator import (
+    PoissonRateEstimator,
+    corrected_rate_estimate,
+    naive_rate_estimate,
+)
+
+
+def poisson_history(rate, visit_interval, n_visits, seed=0):
+    """Simulate regular visits to a Poisson page and build its history."""
+    rng = np.random.default_rng(seed)
+    history = ChangeHistory(first_visit=0.0)
+    time = 0.0
+    for _ in range(n_visits):
+        time += visit_interval
+        changed = rng.random() < 1.0 - np.exp(-rate * visit_interval)
+        history.record_visit(time, changed)
+    return history
+
+
+class TestChangeHistory:
+    def test_records_in_order(self):
+        history = ChangeHistory(first_visit=0.0)
+        history.record_visit(1.0, True)
+        history.record_visit(2.0, False)
+        assert history.n_visits == 2
+        assert history.n_changes == 1
+        assert history.observation_time == pytest.approx(2.0)
+
+    def test_out_of_order_rejected(self):
+        history = ChangeHistory(first_visit=5.0)
+        with pytest.raises(ValueError):
+            history.record_visit(1.0, True)
+
+    def test_intervals(self):
+        history = ChangeHistory(first_visit=0.0)
+        history.record_visit(2.0, True)
+        history.record_visit(5.0, False)
+        assert history.intervals() == [2.0, 3.0]
+        assert history.mean_interval() == pytest.approx(2.5)
+
+    def test_windowing_drops_old_observations(self):
+        history = ChangeHistory(first_visit=0.0, window_days=10.0)
+        for day in range(1, 31):
+            history.record_visit(float(day), False)
+        assert all(o.time >= 20.0 for o in history.observations)
+
+    def test_average_change_interval(self):
+        history = ChangeHistory(first_visit=0.0)
+        for day in range(1, 51):
+            history.record_visit(float(day), day % 10 == 0)
+        assert history.average_change_interval() == pytest.approx(10.0)
+
+    def test_average_change_interval_none_without_changes(self):
+        history = ChangeHistory(first_visit=0.0)
+        history.record_visit(1.0, False)
+        assert history.average_change_interval() is None
+
+    def test_detected_change_intervals(self):
+        history = ChangeHistory(first_visit=0.0)
+        history.record_visit(1.0, False)
+        history.record_visit(2.0, True)   # change after 2 days
+        history.record_visit(3.0, False)
+        history.record_visit(5.0, True)   # change after 3 more days
+        assert history.detected_change_intervals() == [2.0, 3.0]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ChangeHistory(first_visit=-1.0)
+        with pytest.raises(ValueError):
+            ChangeHistory(first_visit=0.0, window_days=0.0)
+
+
+class TestNaiveEstimator:
+    def test_basic(self):
+        assert naive_rate_estimate(5, 50.0) == pytest.approx(0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            naive_rate_estimate(1, 0.0)
+        with pytest.raises(ValueError):
+            naive_rate_estimate(-1, 10.0)
+
+    def test_underestimates_fast_pages(self):
+        """Figure 1(a): at most one change per visit can be detected."""
+        true_rate = 3.0  # three changes per day
+        history = poisson_history(true_rate, visit_interval=1.0, n_visits=500)
+        naive = naive_rate_estimate(history.n_changes, history.observation_time)
+        assert naive < true_rate * 0.5
+
+
+class TestCorrectedEstimator:
+    def test_recovers_moderate_rate(self):
+        true_rate = 0.2
+        history = poisson_history(true_rate, visit_interval=1.0, n_visits=4000)
+        corrected = corrected_rate_estimate(
+            history.n_visits, history.n_changes, 1.0
+        )
+        assert corrected == pytest.approx(true_rate, rel=0.15)
+
+    def test_handles_every_visit_changed(self):
+        value = corrected_rate_estimate(10, 10, 1.0)
+        assert np.isfinite(value)
+        assert value > 2.0
+
+    def test_zero_changes_gives_zero(self):
+        assert corrected_rate_estimate(10, 0, 1.0) == 0.0
+
+    def test_less_biased_than_naive_for_fast_pages(self):
+        true_rate = 1.5
+        history = poisson_history(true_rate, visit_interval=1.0, n_visits=2000, seed=3)
+        naive = naive_rate_estimate(history.n_changes, history.observation_time)
+        corrected = corrected_rate_estimate(history.n_visits, history.n_changes, 1.0)
+        assert abs(corrected - true_rate) < abs(naive - true_rate)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            corrected_rate_estimate(0, 0, 1.0)
+        with pytest.raises(ValueError):
+            corrected_rate_estimate(5, 6, 1.0)
+        with pytest.raises(ValueError):
+            corrected_rate_estimate(5, 2, 0.0)
+
+
+class TestPoissonRateEstimator:
+    def test_returns_none_without_observations(self):
+        estimator = PoissonRateEstimator()
+        assert estimator.estimate(ChangeHistory(first_visit=0.0)) is None
+
+    def test_confidence_interval_contains_truth(self):
+        true_rate = 0.1
+        estimator = PoissonRateEstimator(confidence=0.99)
+        history = poisson_history(true_rate, visit_interval=2.0, n_visits=1000, seed=1)
+        estimate = estimator.estimate(history)
+        assert estimate.lower <= true_rate <= estimate.upper
+
+    def test_interval_narrower_with_more_data(self):
+        estimator = PoissonRateEstimator()
+        short = estimator.estimate(poisson_history(0.1, 1.0, 30, seed=2))
+        long = estimator.estimate(poisson_history(0.1, 1.0, 3000, seed=2))
+        assert (long.upper - long.lower) < (short.upper - short.lower)
+
+    def test_naive_mode(self):
+        estimator = PoissonRateEstimator(use_bias_correction=False)
+        estimate = estimator.estimate(poisson_history(0.05, 1.0, 500, seed=4))
+        assert estimate.method == "naive"
+        assert estimate.rate == pytest.approx(0.05, rel=0.5)
+
+    def test_mean_change_interval(self):
+        estimator = PoissonRateEstimator()
+        estimate = estimator.estimate(poisson_history(0.1, 1.0, 1000, seed=5))
+        assert estimate.mean_change_interval == pytest.approx(10.0, rel=0.3)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            PoissonRateEstimator(confidence=1.5)
+
+
+class TestBayesianClassEstimator:
+    def test_uniform_prior_by_default(self):
+        estimator = BayesianClassEstimator()
+        posterior = estimator.posterior()
+        assert all(
+            p == pytest.approx(1.0 / len(DEFAULT_CLASSES)) for p in posterior.values()
+        )
+
+    def test_no_change_over_a_month_favours_slow_classes(self):
+        """The paper's example: p1 did not change for a month, so P{CM} rises."""
+        estimator = BayesianClassEstimator(
+            classes=(FrequencyClass("weekly", 7.0), FrequencyClass("monthly", 30.0))
+        )
+        before = estimator.probability_of("monthly")
+        estimator.observe(interval_days=30.0, changed=False)
+        after = estimator.probability_of("monthly")
+        assert after > before
+        assert estimator.most_likely_class().name == "monthly"
+
+    def test_frequent_changes_favour_fast_classes(self):
+        estimator = BayesianClassEstimator()
+        for _ in range(10):
+            estimator.observe(interval_days=1.0, changed=True)
+        assert estimator.most_likely_class().name == "daily"
+
+    def test_posterior_sums_to_one_after_updates(self, rng):
+        estimator = BayesianClassEstimator()
+        for _ in range(50):
+            estimator.observe(float(rng.uniform(0.5, 20.0)), bool(rng.random() < 0.5))
+        assert sum(estimator.posterior().values()) == pytest.approx(1.0)
+
+    def test_identifies_weekly_page(self, rng):
+        estimator = BayesianClassEstimator()
+        true_rate = 1.0 / 7.0
+        for _ in range(100):
+            interval = 3.0
+            changed = rng.random() < 1.0 - np.exp(-true_rate * interval)
+            estimator.observe(interval, changed)
+        assert estimator.most_likely_class().name == "weekly"
+        assert estimator.expected_interval() == pytest.approx(7.0, rel=0.8)
+
+    def test_observe_history(self):
+        history = ChangeHistory(first_visit=0.0)
+        for day in range(1, 40):
+            history.record_visit(float(day), False)
+        estimator = BayesianClassEstimator()
+        estimator.observe_history(history)
+        assert estimator.most_likely_class().name in ("quarterly", "static")
+
+    def test_expected_rate_between_class_rates(self):
+        estimator = BayesianClassEstimator()
+        rates = [c.rate for c in estimator.classes]
+        assert min(rates) <= estimator.expected_rate() <= max(rates)
+
+    def test_invalid_priors(self):
+        with pytest.raises(ValueError):
+            BayesianClassEstimator(prior=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            BayesianClassEstimator(
+                classes=(FrequencyClass("a", 1.0),), prior=[2.0]
+            )
+        with pytest.raises(ValueError):
+            BayesianClassEstimator(classes=())
+
+    def test_unknown_class_lookup(self):
+        estimator = BayesianClassEstimator()
+        with pytest.raises(KeyError):
+            estimator.probability_of("bogus")
+
+    def test_negative_interval_rejected(self):
+        estimator = BayesianClassEstimator()
+        with pytest.raises(ValueError):
+            estimator.observe(-1.0, True)
+
+    def test_zero_interval_change_keeps_posterior_valid(self):
+        estimator = BayesianClassEstimator()
+        estimator.observe(0.0, True)
+        assert sum(estimator.posterior().values()) == pytest.approx(1.0)

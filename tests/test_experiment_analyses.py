@@ -1,0 +1,167 @@
+"""Tests for the Figure 2/4/5/6 analyses over a monitored observation log."""
+
+import pytest
+
+from repro.experiment.change_interval import analyze_change_intervals
+from repro.experiment.lifespan_analysis import analyze_lifespans
+from repro.experiment.poisson_fit import fit_poisson_model
+from repro.experiment.survival import analyze_survival
+
+
+class TestChangeIntervalAnalysis:
+    def test_fractions_sum_to_one(self, observation_log):
+        analysis = analyze_change_intervals(observation_log)
+        assert sum(analysis.overall.fractions()) == pytest.approx(1.0)
+
+    def test_domains_present(self, observation_log):
+        analysis = analyze_change_intervals(observation_log)
+        assert set(analysis.by_domain) >= {"com", "edu", "gov", "netorg"}
+
+    def test_com_changes_most_gov_least(self, observation_log):
+        """Figure 2(b): com pages change far more often than gov pages."""
+        analysis = analyze_change_intervals(observation_log)
+        com_daily = analysis.domain_fractions("com")["<=1day"]
+        gov_daily = analysis.domain_fractions("gov")["<=1day"]
+        assert com_daily > 0.25
+        assert gov_daily < 0.1
+        assert com_daily > 3 * gov_daily
+
+    def test_edu_gov_mostly_static(self, observation_log):
+        """Figure 2(b): over half of edu/gov pages never changed."""
+        analysis = analyze_change_intervals(observation_log)
+        assert analysis.domain_fractions("edu")[">4months"] > 0.4
+        assert analysis.domain_fractions("gov")[">4months"] > 0.4
+
+    def test_overall_daily_fraction_above_20_percent(self, observation_log):
+        """Figure 2(a): more than 20% of pages changed at (almost) every visit."""
+        analysis = analyze_change_intervals(observation_log)
+        assert analysis.overall_fractions()["<=1day"] > 0.15
+
+    def test_mean_interval_estimate_around_four_months(self, observation_log):
+        """Section 3.1: the crude overall average change interval ~ 4 months."""
+        analysis = analyze_change_intervals(observation_log)
+        assert 60.0 <= analysis.mean_interval_estimate_days <= 260.0
+
+    def test_min_days_observed_filter(self, observation_log):
+        strict = analyze_change_intervals(observation_log, min_days_observed=30)
+        lax = analyze_change_intervals(observation_log, min_days_observed=2)
+        assert strict.overall.total <= lax.overall.total
+
+
+class TestLifespanAnalysis:
+    def test_fractions_sum_to_one(self, observation_log):
+        analysis = analyze_lifespans(observation_log)
+        assert sum(analysis.method1_overall.fractions()) == pytest.approx(1.0)
+        assert sum(analysis.method2_overall.fractions()) == pytest.approx(1.0)
+
+    def test_method2_shifts_mass_to_longer_lifespans(self, observation_log):
+        """Figure 4(a): Method 2 doubles censored spans, so its histogram has
+        at least as much mass in the longest bucket."""
+        analysis = analyze_lifespans(observation_log)
+        m1 = analysis.method1_overall.labelled_fractions()
+        m2 = analysis.method2_overall.labelled_fractions()
+        assert m2[">4months"] >= m1[">4months"]
+        assert m1["<=1week"] >= m2["<=1week"]
+
+    def test_methods_agree_on_short_lifespans(self, observation_log):
+        """The paper: Methods 1 and 2 give similar numbers for short-lived pages."""
+        analysis = analyze_lifespans(observation_log)
+        m1 = analysis.method1_overall.labelled_fractions()
+        m2 = analysis.method2_overall.labelled_fractions()
+        assert m1["<=1week"] == pytest.approx(m2["<=1week"], abs=0.05)
+
+    def test_majority_of_pages_live_longer_than_a_month(self, observation_log):
+        """Figure 4(a): more than 70% of pages stayed over a month; we accept
+        a looser 55% bound for the scaled-down synthetic web."""
+        analysis = analyze_lifespans(observation_log)
+        assert analysis.fraction_longer_than_a_month_method1() > 0.55
+
+    def test_com_pages_shortest_lived(self, observation_log):
+        """Figure 4(b): com pages disappear soonest, edu/gov last longest."""
+        analysis = analyze_lifespans(observation_log)
+        com = analysis.method1_by_domain["com"].labelled_fractions()[">4months"]
+        edu = analysis.method1_by_domain["edu"].labelled_fractions()[">4months"]
+        gov = analysis.method1_by_domain["gov"].labelled_fractions()[">4months"]
+        assert com < edu
+        assert com < gov
+
+    def test_censored_fraction_positive(self, observation_log):
+        analysis = analyze_lifespans(observation_log)
+        assert 0.0 < analysis.censored_fraction <= 1.0
+
+
+class TestSurvivalAnalysis:
+    def test_curves_start_at_one_and_decrease(self, observation_log):
+        analysis = analyze_survival(observation_log)
+        curve = analysis.overall
+        assert curve.unchanged_fraction[0] == pytest.approx(1.0, abs=0.05)
+        assert all(
+            a >= b - 1e-12
+            for a, b in zip(curve.unchanged_fraction, curve.unchanged_fraction[1:])
+        )
+
+    def test_half_change_day_overall_in_paper_ballpark(self, observation_log):
+        """Figure 5(a): about 50 days for half the web to change. The synthetic
+        web reproduces the ordering and rough magnitude."""
+        analysis = analyze_survival(observation_log)
+        half_day = analysis.overall.half_change_day()
+        assert half_day is not None
+        assert 3.0 <= half_day <= 90.0
+
+    def test_com_changes_much_faster_than_gov(self, observation_log):
+        """Figure 5(b): com ~11 days, gov ~4 months."""
+        analysis = analyze_survival(observation_log)
+        com_half = analysis.by_domain["com"].half_change_day()
+        gov_half = analysis.by_domain["gov"].half_change_day()
+        overall_half = analysis.overall.half_change_day()
+        assert com_half is not None
+        assert com_half < 30.0
+        assert com_half <= overall_half
+        if gov_half is not None:
+            assert gov_half > 2 * com_half
+        # gov may never reach 50% within the horizon, matching the paper.
+
+    def test_half_change_days_mapping(self, observation_log):
+        analysis = analyze_survival(observation_log)
+        mapping = analysis.half_change_days()
+        assert "overall" in mapping
+        assert "com" in mapping
+
+    def test_fraction_at_clamps(self, observation_log):
+        analysis = analyze_survival(observation_log)
+        curve = analysis.overall
+        assert curve.fraction_at(-5) == curve.unchanged_fraction[0]
+        assert curve.fraction_at(10**6) == curve.unchanged_fraction[-1]
+
+
+class TestPoissonFit:
+    def test_ten_day_pages_look_exponential(self, observation_log):
+        """Figure 6(a): pages with a ~10 day change interval have exponential
+        inter-change intervals."""
+        result = fit_poisson_model(observation_log, target_interval_days=10.0)
+        assert result.n_pages > 0
+        assert result.n_intervals >= 20
+        assert result.fit is not None
+        assert result.fit.log_r_squared > 0.8
+
+    def test_twenty_day_pages_rate_matches_target(self, observation_log):
+        """Figure 6(b): the fitted rate corresponds to the selected interval."""
+        result = fit_poisson_model(observation_log, target_interval_days=20.0)
+        if result.fit is None:
+            pytest.skip("not enough 20-day pages in the scaled-down web")
+        assert result.fit.mean_interval == pytest.approx(20.0, rel=0.5)
+
+    def test_histogram_fractions_sum_to_one(self, observation_log):
+        result = fit_poisson_model(observation_log, target_interval_days=10.0)
+        assert sum(result.histogram_fractions) == pytest.approx(1.0, abs=1e-6)
+
+    def test_predicted_fractions_follow_exponential_decay(self, observation_log):
+        result = fit_poisson_model(observation_log, target_interval_days=10.0)
+        predicted = list(result.predicted_fractions)
+        assert all(a >= b for a, b in zip(predicted, predicted[1:]))
+
+    def test_invalid_arguments(self, observation_log):
+        with pytest.raises(ValueError):
+            fit_poisson_model(observation_log, target_interval_days=0.0)
+        with pytest.raises(ValueError):
+            fit_poisson_model(observation_log, target_interval_days=10.0, tolerance=2.0)

@@ -1,0 +1,208 @@
+"""Tests for the fetch substrate: checksums, politeness, robots, fetcher."""
+
+import pytest
+
+from repro.fetch.checksum import checksums_differ, page_checksum
+from repro.fetch.fetcher import FetchStatus, SimulatedFetcher
+from repro.fetch.politeness import NightWindow, PolitenessPolicy, seconds_to_days
+from repro.fetch.robots import RobotsRules
+
+
+class TestChecksum:
+    def test_equal_content_equal_checksum(self):
+        assert page_checksum("hello world") == page_checksum("hello world")
+
+    def test_different_content_different_checksum(self):
+        assert page_checksum("a") != page_checksum("b")
+
+    def test_checksums_differ_helper(self):
+        assert checksums_differ("x", "y")
+        assert not checksums_differ("x", "x")
+
+    def test_unicode_content(self):
+        assert isinstance(page_checksum("café ☕"), str)
+
+
+class TestNightWindow:
+    def test_default_is_9pm_to_6am(self):
+        window = NightWindow()
+        assert window.is_open(0.95)   # 10:48 PM
+        assert window.is_open(0.1)    # 2:24 AM
+        assert not window.is_open(0.5)  # noon
+
+    def test_next_open_when_already_open(self):
+        window = NightWindow()
+        assert window.next_open(0.9) == 0.9
+
+    def test_next_open_defers_to_window_start(self):
+        window = NightWindow()
+        assert window.next_open(0.5) == pytest.approx(0.875)
+
+    def test_next_open_crosses_to_next_day(self):
+        window = NightWindow(start_fraction=0.1, duration_fraction=0.1)
+        assert window.next_open(0.5) == pytest.approx(1.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NightWindow(start_fraction=1.5)
+        with pytest.raises(ValueError):
+            NightWindow(duration_fraction=0.0)
+
+
+class TestPolitenessPolicy:
+    def test_seconds_to_days(self):
+        assert seconds_to_days(86400) == 1.0
+
+    def test_min_delay_between_requests(self):
+        policy = PolitenessPolicy(min_delay_seconds=10.0)
+        first = policy.earliest_allowed("site", 0.0)
+        policy.record_request("site", first)
+        second = policy.earliest_allowed("site", first)
+        assert second - first == pytest.approx(10.0 / 86400.0)
+
+    def test_different_sites_independent(self):
+        policy = PolitenessPolicy(min_delay_seconds=10.0)
+        policy.record_request("a", 0.0)
+        assert policy.earliest_allowed("b", 0.0) == 0.0
+
+    def test_no_delay_needed_after_long_gap(self):
+        policy = PolitenessPolicy(min_delay_seconds=10.0)
+        policy.record_request("a", 0.0)
+        assert policy.earliest_allowed("a", 1.0) == 1.0
+
+    def test_night_window_defers_requests(self):
+        policy = PolitenessPolicy(min_delay_seconds=0.0, night_window=NightWindow())
+        assert policy.earliest_allowed("a", 0.5) == pytest.approx(0.875)
+
+    def test_max_requests_per_day_matches_paper(self):
+        """10 s delay, 9 h nightly window -> roughly 3,000 pages per day."""
+        policy = PolitenessPolicy(min_delay_seconds=10.0, night_window=NightWindow())
+        assert 3000 <= policy.max_requests_per_day() <= 3500
+
+    def test_unbounded_without_delay(self):
+        policy = PolitenessPolicy(min_delay_seconds=0.0)
+        assert policy.max_requests_per_day() == float("inf")
+
+    def test_reset(self):
+        policy = PolitenessPolicy(min_delay_seconds=10.0)
+        policy.record_request("a", 0.0)
+        policy.reset()
+        assert policy.earliest_allowed("a", 0.0) == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            PolitenessPolicy(min_delay_seconds=-1.0)
+
+
+class TestRobotsRules:
+    def test_excluded_site(self):
+        rules = RobotsRules(excluded_sites=["bad.com"])
+        assert not rules.is_allowed("bad.com", "http://bad.com/page")
+        assert rules.is_allowed("good.com", "http://good.com/page")
+
+    def test_disallowed_prefix(self):
+        rules = RobotsRules(disallowed_prefixes={"s.com": ["/private"]})
+        assert not rules.is_allowed("s.com", "http://s.com/private/page")
+        assert rules.is_allowed("s.com", "http://s.com/public/page")
+
+    def test_dynamic_rules(self):
+        rules = RobotsRules()
+        rules.exclude_site("x.com")
+        rules.disallow("y.com", "/admin")
+        assert not rules.is_allowed("x.com", "http://x.com/")
+        assert not rules.is_allowed("y.com", "http://y.com/admin/panel")
+
+    def test_url_without_path(self):
+        rules = RobotsRules(disallowed_prefixes={"s.com": ["/x"]})
+        assert rules.is_allowed("s.com", "http://s.com")
+
+
+class TestSimulatedFetcher:
+    def test_fetch_live_page(self, small_web):
+        fetcher = SimulatedFetcher(small_web)
+        url = small_web.seed_urls()[0]
+        result = fetcher.fetch(url, at=1.0)
+        assert result.ok
+        assert result.status is FetchStatus.OK
+        assert result.checksum
+        assert result.content
+
+    def test_fetch_unknown_url(self, small_web):
+        fetcher = SimulatedFetcher(small_web)
+        result = fetcher.fetch("http://nonexistent/", at=1.0)
+        assert not result.ok
+        assert result.status is FetchStatus.NOT_FOUND
+
+    def test_fetch_dead_page(self, small_web):
+        fetcher = SimulatedFetcher(small_web)
+        dead = next(
+            (p for p in small_web.pages() if p.deleted_at is not None
+             and p.deleted_at < small_web.horizon_days - 1),
+            None,
+        )
+        if dead is None:
+            pytest.skip("no dead page in the small web")
+        result = fetcher.fetch(dead.url, at=dead.deleted_at + 0.5)
+        assert result.status is FetchStatus.NOT_FOUND
+
+    def test_checksum_stable_without_change(self, small_web):
+        fetcher = SimulatedFetcher(small_web)
+        static = next(
+            p for p in small_web.pages()
+            if p.change_process.mean_rate == 0.0 and p.created_at == 0.0
+            and p.lifespan is None
+        )
+        first = fetcher.fetch(static.url, at=1.0)
+        second = fetcher.fetch(static.url, at=50.0)
+        assert first.checksum == second.checksum
+
+    def test_checksum_changes_when_page_changes(self, small_web):
+        fetcher = SimulatedFetcher(small_web)
+        changing = next(
+            p for p in small_web.pages()
+            if p.created_at == 0.0 and p.lifespan is None
+            and len(p.change_process.change_times()) > 0
+        )
+        change_time = changing.change_process.change_times()[0]
+        before = fetcher.fetch(changing.url, at=max(0.0, change_time - 1e-3))
+        after = fetcher.fetch(changing.url, at=change_time + 1e-3)
+        assert before.checksum != after.checksum
+
+    def test_latency_charged(self, small_web):
+        fetcher = SimulatedFetcher(small_web, latency_days=0.01)
+        result = fetcher.fetch(small_web.seed_urls()[0], at=1.0)
+        assert result.completed_at == pytest.approx(1.01)
+
+    def test_politeness_applied(self, small_web):
+        from repro.fetch.politeness import PolitenessPolicy
+
+        policy = PolitenessPolicy(min_delay_seconds=3600.0)
+        fetcher = SimulatedFetcher(small_web, politeness=policy, latency_days=0.0)
+        url = small_web.seed_urls()[0]
+        fetcher.fetch(url, at=1.0)
+        second = fetcher.fetch(url, at=1.0)
+        assert second.completed_at >= 1.0 + 3600.0 / 86400.0 - 1e-9
+
+    def test_robots_exclusion(self, small_web):
+        site_id = small_web.sites[0].site_id
+        rules = RobotsRules(excluded_sites=[site_id])
+        fetcher = SimulatedFetcher(small_web, robots=rules)
+        url = small_web.site(site_id).root_url
+        result = fetcher.fetch(url, at=1.0)
+        assert result.status is FetchStatus.EXCLUDED
+
+    def test_fetch_count_increments(self, small_web):
+        fetcher = SimulatedFetcher(small_web)
+        fetcher.fetch(small_web.seed_urls()[0], at=1.0)
+        fetcher.fetch(small_web.seed_urls()[1], at=1.0)
+        assert fetcher.fetch_count == 2
+
+    def test_outlinks_forwarded(self, small_web):
+        fetcher = SimulatedFetcher(small_web)
+        url = small_web.seed_urls()[0]
+        result = fetcher.fetch(url, at=1.0)
+        assert tuple(result.outlinks) == tuple(small_web.page(url).outlinks)
+
+    def test_invalid_latency(self, small_web):
+        with pytest.raises(ValueError):
+            SimulatedFetcher(small_web, latency_days=-1.0)

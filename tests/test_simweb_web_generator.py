@@ -1,0 +1,248 @@
+"""Tests for repro.simweb.web, repro.simweb.linkgraph and repro.simweb.generator."""
+
+import numpy as np
+import pytest
+
+from repro.simweb.domains import DOMAIN_PROFILES
+from repro.simweb.generator import WebGeneratorConfig, generate_web
+from repro.simweb.linkgraph import (
+    LinkGraphConfig,
+    generate_cross_links,
+    generate_site_links,
+    page_link_graph,
+)
+from repro.simweb.page import SimulatedPage
+from repro.simweb.site import SimulatedSite
+from repro.simweb.web import SimulatedWeb
+from tests.test_simweb_page_site import make_page
+
+
+class TestLinkGraphConfig:
+    def test_defaults_valid(self):
+        LinkGraphConfig()
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            LinkGraphConfig(branching_factor=0)
+        with pytest.raises(ValueError):
+            LinkGraphConfig(shortcut_links_per_page=-1)
+        with pytest.raises(ValueError):
+            LinkGraphConfig(cross_links_per_site=-1)
+        with pytest.raises(ValueError):
+            LinkGraphConfig(preferential_attachment_bias=-0.1)
+
+
+class TestGenerateSiteLinks:
+    def test_all_pages_reachable_from_root(self, rng):
+        pages = [make_page(url=f"http://s.com/p{i}", depth=0 if i == 0 else 1, seed=i)
+                 for i in range(20)]
+        generate_site_links(pages, LinkGraphConfig(), rng)
+        reachable = {pages[0].url}
+        frontier = [pages[0]]
+        by_url = {p.url: p for p in pages}
+        while frontier:
+            page = frontier.pop()
+            for link in page.outlinks:
+                if link in by_url and link not in reachable:
+                    reachable.add(link)
+                    frontier.append(by_url[link])
+        assert reachable == {p.url for p in pages}
+
+    def test_depths_assigned(self, rng):
+        pages = [make_page(url=f"http://s.com/p{i}", seed=i) for i in range(10)]
+        generate_site_links(pages, LinkGraphConfig(), rng)
+        assert pages[0].depth == 1  # unchanged root depth from make_page default
+        assert all(p.depth >= 1 for p in pages[1:])
+
+    def test_empty_page_list_is_noop(self, rng):
+        generate_site_links([], LinkGraphConfig(), rng)
+
+
+class TestGenerateCrossLinks:
+    def _make_sites(self, n_sites=6, pages_per_site=5):
+        sites = []
+        for s in range(n_sites):
+            site_id = f"site{s}.com"
+            site = SimulatedSite(site_id, "com", window_size=pages_per_site)
+            root = make_page(url=f"http://{site_id}/", depth=0, site_id=site_id, seed=s)
+            site.add_page(root, is_root=True)
+            for i in range(pages_per_site - 1):
+                page = make_page(
+                    url=f"http://{site_id}/p{i}", site_id=site_id, seed=100 * s + i
+                )
+                root.add_outlink(page.url)
+                site.add_page(page)
+            sites.append(site)
+        return sites
+
+    def test_cross_links_created(self, rng):
+        sites = self._make_sites()
+        in_degree = generate_cross_links(sites, LinkGraphConfig(cross_links_per_site=5), rng)
+        assert sum(in_degree.values()) > 0
+
+    def test_links_point_to_root_pages(self, rng):
+        sites = self._make_sites()
+        generate_cross_links(sites, LinkGraphConfig(cross_links_per_site=5), rng)
+        roots = {site.root_url for site in sites}
+        for site in sites:
+            for page in site.all_pages:
+                for link in page.outlinks:
+                    if site.site_id not in link:
+                        assert link in roots
+
+    def test_single_site_no_links(self, rng):
+        sites = self._make_sites(n_sites=1)
+        in_degree = generate_cross_links(sites, LinkGraphConfig(), rng)
+        assert in_degree == {sites[0].site_id: 0}
+
+    def test_zero_cross_links(self, rng):
+        sites = self._make_sites()
+        in_degree = generate_cross_links(
+            sites, LinkGraphConfig(cross_links_per_site=0), rng
+        )
+        assert all(v == 0 for v in in_degree.values())
+
+
+class TestPageLinkGraph:
+    def test_restricts_to_given_pages(self):
+        a = make_page(url="http://s.com/a")
+        b = make_page(url="http://s.com/b")
+        a.set_outlinks([b.url, "http://elsewhere.com/"])
+        graph = page_link_graph([a, b])
+        assert graph[a.url] == (b.url,)
+        assert graph[b.url] == ()
+
+
+class TestSimulatedWeb:
+    def test_lookup_and_membership(self, small_web):
+        url = next(iter(small_web.urls()))
+        assert url in small_web
+        assert small_web.page(url).url == url
+
+    def test_seed_urls_are_roots(self, small_web):
+        seeds = small_web.seed_urls()
+        assert len(seeds) == small_web.n_sites
+        assert all(small_web.page(url).depth == 0 for url in seeds)
+
+    def test_snapshot_of_live_page(self, small_web):
+        url = small_web.seed_urls()[0]
+        snapshot = small_web.snapshot(url, 1.0)
+        assert snapshot is not None
+        assert snapshot.url == url
+
+    def test_snapshot_of_unknown_url(self, small_web):
+        assert small_web.snapshot("http://unknown/", 1.0) is None
+
+    def test_is_up_to_date(self, small_web):
+        url = small_web.seed_urls()[0]
+        version = small_web.current_version(url, 1.0)
+        assert small_web.is_up_to_date(url, version, 1.0)
+
+    def test_stale_version_not_up_to_date(self, small_web):
+        # Find a page that changes at least once.
+        for page in small_web.pages():
+            times = page.change_process.change_times()
+            if times and page.created_at == 0.0 and page.exists_at(times[0] + 1.0):
+                t_before = times[0] - 1e-6 + page.created_at
+                t_after = times[0] + 1e-6 + page.created_at
+                version_before = small_web.current_version(page.url, t_before)
+                assert not small_web.is_up_to_date(page.url, version_before, t_after)
+                return
+        pytest.skip("no changing page found in the small web")
+
+    def test_time_bounds_enforced(self, small_web):
+        url = small_web.seed_urls()[0]
+        with pytest.raises(ValueError):
+            small_web.snapshot(url, -1.0)
+        with pytest.raises(ValueError):
+            small_web.snapshot(url, small_web.horizon_days + 10.0)
+
+    def test_duplicate_site_rejected(self, small_web):
+        with pytest.raises(ValueError):
+            small_web.add_site(small_web.sites[0])
+
+    def test_live_urls_subset_of_all(self, small_web):
+        live = set(small_web.live_urls_at(1.0))
+        assert live <= set(small_web.urls())
+
+    def test_mean_change_rate_positive(self, small_web):
+        assert small_web.mean_change_rate() > 0.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            SimulatedWeb(horizon_days=0.0)
+
+
+class TestWebGeneratorConfig:
+    def test_defaults_valid(self):
+        WebGeneratorConfig()
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            WebGeneratorConfig(site_scale=0.0)
+        with pytest.raises(ValueError):
+            WebGeneratorConfig(pages_per_site=0)
+        with pytest.raises(ValueError):
+            WebGeneratorConfig(horizon_days=0.0)
+        with pytest.raises(ValueError):
+            WebGeneratorConfig(new_page_fraction=-0.1)
+        with pytest.raises(ValueError):
+            WebGeneratorConfig(window_size=0)
+
+    def test_effective_window_defaults_to_pages_per_site(self):
+        config = WebGeneratorConfig(pages_per_site=40)
+        assert config.effective_window_size() == 40
+
+    def test_explicit_site_counts(self):
+        config = WebGeneratorConfig(site_counts={"com": 3, "edu": 1})
+        assert config.sites_for_domain("com") == 3
+        assert config.sites_for_domain("gov") == 0
+
+    def test_scaled_site_counts(self):
+        config = WebGeneratorConfig(site_scale=0.1)
+        assert config.sites_for_domain("com") == round(132 * 0.1)
+
+
+class TestGenerateWeb:
+    def test_deterministic_given_seed(self):
+        config = WebGeneratorConfig(site_scale=0.03, pages_per_site=10, seed=5)
+        first = generate_web(config)
+        second = generate_web(config)
+        assert sorted(first.urls()) == sorted(second.urls())
+
+    def test_domain_mix_follows_table1_proportions(self, small_web):
+        counts = {
+            domain: len(small_web.sites_in_domain(domain))
+            for domain in ("com", "edu", "netorg", "gov")
+        }
+        assert counts["com"] > counts["edu"] > counts["gov"] >= 1
+        assert counts["netorg"] >= 1
+
+    def test_every_site_has_a_root(self, small_web):
+        for site in small_web.sites:
+            assert site.root_url in site
+
+    def test_pages_created_during_horizon_exist(self, small_web):
+        late = [p for p in small_web.pages() if p.created_at > 0]
+        assert late, "the generator should create pages during the experiment"
+
+    def test_change_processes_materialised(self, small_web):
+        assert all(p.change_process.is_materialised for p in small_web.pages())
+
+    def test_com_pages_change_faster_than_gov(self, small_web):
+        def mean_rate(domain):
+            pages = [
+                p for p in small_web.pages() if p.domain == domain
+            ]
+            return np.mean([p.change_process.mean_rate for p in pages])
+
+        assert mean_rate("com") > 3 * mean_rate("gov")
+
+    def test_cross_site_links_exist(self, small_web):
+        roots = set(small_web.seed_urls())
+        cross = 0
+        for page in small_web.pages():
+            for link in page.outlinks:
+                if link in roots and not link.startswith(f"http://{page.site_id}"):
+                    cross += 1
+        assert cross > 0

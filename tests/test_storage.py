@@ -1,0 +1,284 @@
+"""Tests for the storage substrate: records, repository, collections, index."""
+
+import pytest
+
+from repro.storage.collection import InPlaceCollection, ShadowCollection
+from repro.storage.inverted_index import InvertedIndex, tokenize
+from repro.storage.records import PageRecord
+from repro.storage.repository import Repository, RepositoryFullError
+
+
+def make_record(url="http://s.com/p", checksum="abc", fetched_at=1.0, importance=0.0):
+    return PageRecord(
+        url=url,
+        content=f"content of {url}",
+        checksum=checksum,
+        fetched_at=fetched_at,
+        first_fetched_at=fetched_at,
+        outlinks=("http://s.com/other",),
+        importance=importance,
+    )
+
+
+class TestPageRecord:
+    def test_refreshed_detects_change(self):
+        record = make_record(checksum="v1")
+        refreshed = record.refreshed("new", "v2", fetched_at=2.0, outlinks=())
+        assert refreshed.change_count == 1
+        assert refreshed.visit_count == 2
+        assert refreshed.checksum == "v2"
+
+    def test_refreshed_without_change(self):
+        record = make_record(checksum="v1")
+        refreshed = record.refreshed("same", "v1", fetched_at=2.0, outlinks=())
+        assert refreshed.change_count == 0
+        assert refreshed.visit_count == 2
+
+    def test_refresh_preserves_first_fetch(self):
+        record = make_record(fetched_at=1.0)
+        refreshed = record.refreshed("x", "y", fetched_at=5.0, outlinks=())
+        assert refreshed.first_fetched_at == 1.0
+        assert refreshed.observation_span() == pytest.approx(4.0)
+
+    def test_refresh_backwards_in_time_rejected(self):
+        record = make_record(fetched_at=5.0)
+        with pytest.raises(ValueError):
+            record.refreshed("x", "y", fetched_at=1.0, outlinks=())
+
+    def test_with_importance(self):
+        record = make_record()
+        assert record.with_importance(0.7).importance == 0.7
+
+    def test_observed_change_fraction(self):
+        record = make_record(checksum="a")
+        record = record.refreshed("b", "b", 2.0, ())
+        record = record.refreshed("b", "b", 3.0, ())
+        assert record.observed_change_fraction == pytest.approx(1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageRecord("u", "c", "x", fetched_at=-1.0, first_fetched_at=0.0)
+        with pytest.raises(ValueError):
+            PageRecord("u", "c", "x", fetched_at=0.0, first_fetched_at=1.0)
+        with pytest.raises(ValueError):
+            PageRecord("u", "c", "x", fetched_at=1.0, first_fetched_at=1.0, visit_count=0)
+        with pytest.raises(ValueError):
+            PageRecord(
+                "u", "c", "x", fetched_at=1.0, first_fetched_at=1.0,
+                visit_count=1, change_count=2,
+            )
+
+
+class TestRepository:
+    def test_save_get_discard(self):
+        repo = Repository()
+        record = make_record()
+        repo.save(record)
+        assert record.url in repo
+        assert repo.get(record.url) is record
+        discarded = repo.discard(record.url)
+        assert discarded is record
+        assert record.url not in repo
+
+    def test_save_duplicate_rejected(self):
+        repo = Repository()
+        repo.save(make_record())
+        with pytest.raises(ValueError):
+            repo.save(make_record())
+
+    def test_update_requires_existing(self):
+        repo = Repository()
+        with pytest.raises(KeyError):
+            repo.update(make_record())
+
+    def test_capacity_enforced(self):
+        repo = Repository(capacity=2)
+        repo.save(make_record(url="http://a/"))
+        repo.save(make_record(url="http://b/"))
+        assert repo.is_full
+        with pytest.raises(RepositoryFullError):
+            repo.save(make_record(url="http://c/"))
+
+    def test_update_allowed_at_capacity(self):
+        repo = Repository(capacity=1)
+        repo.save(make_record(url="http://a/", checksum="1"))
+        repo.update(make_record(url="http://a/", checksum="2"))
+        assert repo.require("http://a/").checksum == "2"
+
+    def test_lowest_importance_url(self):
+        repo = Repository()
+        repo.save(make_record(url="http://a/", importance=0.9))
+        repo.save(make_record(url="http://b/", importance=0.1))
+        repo.save(make_record(url="http://c/", importance=0.5))
+        assert repo.lowest_importance_url() == "http://b/"
+
+    def test_lowest_importance_empty(self):
+        assert Repository().lowest_importance_url() is None
+
+    def test_mean_importance(self):
+        repo = Repository()
+        repo.save(make_record(url="http://a/", importance=0.2))
+        repo.save(make_record(url="http://b/", importance=0.4))
+        assert repo.mean_importance() == pytest.approx(0.3)
+
+    def test_total_visits(self):
+        repo = Repository()
+        record = make_record().refreshed("x", "y", 2.0, ())
+        repo.save(record)
+        assert repo.total_visits() == 2
+
+    def test_clear(self):
+        repo = Repository()
+        repo.save(make_record())
+        repo.clear()
+        assert len(repo) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Repository(capacity=0)
+
+
+class TestInPlaceCollection:
+    def test_store_is_immediately_visible(self):
+        collection = InPlaceCollection()
+        collection.store(make_record())
+        assert len(collection.current_records()) == 1
+
+    def test_refresh_replaces_record(self):
+        collection = InPlaceCollection()
+        collection.store(make_record(checksum="v1"))
+        collection.store(make_record(checksum="v2"))
+        assert collection.current_records()[0].checksum == "v2"
+
+    def test_discard(self):
+        collection = InPlaceCollection()
+        record = make_record()
+        collection.store(record)
+        assert collection.discard(record.url) is not None
+        assert collection.current_records() == []
+
+    def test_discard_missing_returns_none(self):
+        assert InPlaceCollection().discard("http://x/") is None
+
+    def test_complete_cycle_is_noop(self):
+        collection = InPlaceCollection()
+        collection.store(make_record())
+        collection.complete_cycle(at=10.0)
+        assert len(collection.current_records()) == 1
+
+    def test_working_equals_current(self):
+        collection = InPlaceCollection()
+        collection.store(make_record())
+        assert [r.url for r in collection.working_records()] == [
+            r.url for r in collection.current_records()
+        ]
+
+
+class TestShadowCollection:
+    def test_store_not_visible_before_swap(self):
+        collection = ShadowCollection()
+        collection.store(make_record())
+        assert collection.current_records() == []
+        assert len(collection.working_records()) == 1
+
+    def test_swap_makes_records_visible(self):
+        collection = ShadowCollection()
+        collection.store(make_record())
+        collection.complete_cycle(at=5.0)
+        assert len(collection.current_records()) == 1
+        assert collection.swap_times == [5.0]
+
+    def test_shadow_cleared_after_swap(self):
+        collection = ShadowCollection()
+        collection.store(make_record())
+        collection.complete_cycle(at=5.0)
+        assert collection.working_records() == []
+
+    def test_current_survives_next_cycle_until_swap(self):
+        collection = ShadowCollection()
+        collection.store(make_record(url="http://old/"))
+        collection.complete_cycle(at=5.0)
+        collection.store(make_record(url="http://new/"))
+        current_urls = [r.url for r in collection.current_records()]
+        assert current_urls == ["http://old/"]
+        collection.complete_cycle(at=10.0)
+        current_urls = [r.url for r in collection.current_records()]
+        assert current_urls == ["http://new/"]
+
+    def test_get_working(self):
+        collection = ShadowCollection()
+        record = make_record()
+        collection.store(record)
+        assert collection.get_working(record.url) is record
+        assert collection.get_working("http://other/") is None
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello World-42") == ["hello", "world", "42"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestInvertedIndex:
+    def test_add_and_search(self):
+        index = InvertedIndex()
+        index.add_document("d1", "incremental crawler freshness")
+        index.add_document("d2", "batch crawler shadowing")
+        results = index.search("crawler")
+        assert {doc for doc, _ in results} == {"d1", "d2"}
+
+    def test_ranking_prefers_denser_document(self):
+        index = InvertedIndex()
+        index.add_document("dense", "cats cats cats")
+        index.add_document("sparse", "cats and dogs and birds and fish")
+        results = index.search("cats")
+        assert results[0][0] == "dense"
+
+    def test_reindex_replaces_old_content(self):
+        index = InvertedIndex()
+        index.add_document("d1", "old topic")
+        index.add_document("d1", "new subject")
+        assert index.search("old") == []
+        assert [doc for doc, _ in index.search("subject")] == ["d1"]
+
+    def test_remove_document(self):
+        index = InvertedIndex()
+        index.add_document("d1", "something here")
+        assert index.remove_document("d1")
+        assert not index.remove_document("d1")
+        assert index.search("something") == []
+        assert index.n_documents == 0
+
+    def test_document_frequency(self):
+        index = InvertedIndex()
+        index.add_document("d1", "apple banana")
+        index.add_document("d2", "apple")
+        assert index.document_frequency("apple") == 2
+        assert index.document_frequency("banana") == 1
+        assert index.document_frequency("missing") == 0
+
+    def test_build_from_documents(self):
+        index = InvertedIndex.build([("a", "one two"), ("b", "two three")])
+        assert index.n_documents == 2
+        assert index.document_frequency("two") == 2
+
+    def test_search_limit(self):
+        index = InvertedIndex()
+        for i in range(20):
+            index.add_document(f"d{i}", "common term")
+        assert len(index.search("common", limit=5)) == 5
+        assert len(index.search("common", limit=None)) == 20
+
+    def test_empty_query(self):
+        index = InvertedIndex()
+        index.add_document("d1", "text")
+        assert index.search("") == []
+
+    def test_clear(self):
+        index = InvertedIndex()
+        index.add_document("d1", "text")
+        index.clear()
+        assert index.n_documents == 0
+        assert index.n_terms == 0
