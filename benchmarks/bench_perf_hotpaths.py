@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Perf trajectory of the vectorized hot paths vs. the reference loops.
+
+Times each NumPy-batched kernel against the retained ``*_reference``
+implementation on the same inputs and seeds, checks the results agree, and
+writes the measurements to ``BENCH_perf.json`` at the repository root so
+the speedup trajectory is tracked from PR to PR.
+
+Kernels covered:
+
+* ``simulate_revisit_allocation`` — the Figure 9/10 Monte-Carlo simulator;
+* ``simulate_crawl_policy`` — the Table 2 / Figures 7-8 policy simulator;
+* ``optimal_revisit_frequencies`` — the KKT water-level allocation solver;
+* ``collection_freshness`` + ``collection_age`` — the batched-oracle
+  measurement path used by every crawler measurement event.
+
+Usage::
+
+    python benchmarks/bench_perf_hotpaths.py            # full sizes
+    python benchmarks/bench_perf_hotpaths.py --quick    # CI smoke sizes
+
+Exits non-zero when any vectorized kernel fails to beat its reference
+implementation, which is what the CI smoke invocation gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.freshness.metrics import (  # noqa: E402
+    collection_age,
+    collection_age_reference,
+    collection_freshness,
+    collection_freshness_reference,
+)
+from repro.freshness.optimal_allocation import (  # noqa: E402
+    optimal_revisit_frequencies,
+    optimal_revisit_frequencies_reference,
+)
+from repro.simulation.crawler_sim import (  # noqa: E402
+    simulate_crawl_policy,
+    simulate_crawl_policy_reference,
+    simulate_revisit_allocation,
+    simulate_revisit_allocation_reference,
+)
+from repro.simulation.scenarios import paper_table2_policies  # noqa: E402
+from repro.simweb.change_models import PoissonChangeProcess  # noqa: E402
+from repro.simweb.page import SimulatedPage  # noqa: E402
+from repro.simweb.site import SimulatedSite  # noqa: E402
+from repro.simweb.web import SimulatedWeb  # noqa: E402
+from repro.storage.records import PageRecord  # noqa: E402
+
+
+def _timed(fn: Callable[[], object]) -> tuple:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_revisit_allocation(n_pages: int, n_samples: int) -> Dict:
+    rng = np.random.default_rng(101)
+    rates = rng.exponential(0.15, size=n_pages)
+    rates[: n_pages // 20] = 0.0
+    intervals = rng.exponential(15.0, size=n_pages)
+    intervals[: n_pages // 50] = np.inf
+
+    vec_seconds, vec = _timed(
+        lambda: simulate_revisit_allocation(rates, intervals, n_samples=n_samples, seed=7)
+    )
+    ref_seconds, ref = _timed(
+        lambda: simulate_revisit_allocation_reference(
+            rates, intervals, n_samples=n_samples, seed=7
+        )
+    )
+    delta = max(abs(a - b) for a, b in zip(vec.freshness, ref.freshness))
+    return {
+        "kernel": "simulate_revisit_allocation",
+        "params": {"n_pages": n_pages, "n_samples": n_samples},
+        "ref_seconds": ref_seconds,
+        "vec_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "max_abs_delta": delta,
+    }
+
+
+def bench_crawl_policy(n_pages: int, n_cycles: int) -> Dict:
+    rng = np.random.default_rng(103)
+    rates = rng.exponential(0.1, size=n_pages)
+    policy = paper_table2_policies()["batch / shadowing"]
+
+    vec_seconds, vec = _timed(
+        lambda: simulate_crawl_policy(rates, policy, n_cycles=n_cycles, seed=7)
+    )
+    ref_seconds, ref = _timed(
+        lambda: simulate_crawl_policy_reference(rates, policy, n_cycles=n_cycles, seed=7)
+    )
+    delta = max(abs(a - b) for a, b in zip(vec.freshness, ref.freshness))
+    return {
+        "kernel": "simulate_crawl_policy",
+        "params": {"n_pages": n_pages, "n_cycles": n_cycles},
+        "ref_seconds": ref_seconds,
+        "vec_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "max_abs_delta": delta,
+    }
+
+
+def bench_optimal_allocation(n_pages: int) -> Dict:
+    rng = np.random.default_rng(107)
+    rates = rng.exponential(0.2, size=n_pages)
+    rates[: n_pages // 20] = 0.0
+    budget = n_pages / 15.0
+
+    vec_seconds, vec = _timed(lambda: optimal_revisit_frequencies(rates, budget))
+    ref_seconds, ref = _timed(
+        lambda: optimal_revisit_frequencies_reference(list(rates), budget)
+    )
+    delta = max(abs(a - b) for a, b in zip(vec, ref))
+    return {
+        "kernel": "optimal_revisit_frequencies",
+        "params": {"n_pages": n_pages, "budget": budget},
+        "ref_seconds": ref_seconds,
+        "vec_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "max_abs_delta": delta,
+    }
+
+
+def _build_synthetic_web(n_pages: int, horizon: float = 200.0) -> SimulatedWeb:
+    """One flat site with Poisson pages — cheap to build at any scale."""
+    rng = np.random.default_rng(109)
+    web = SimulatedWeb(horizon_days=horizon)
+    site = SimulatedSite("site000.com", "com", window_size=n_pages)
+    for i in range(n_pages):
+        process = PoissonChangeProcess(float(rng.exponential(0.2)))
+        process.materialise(horizon, rng)
+        if i == 0:
+            created, lifespan = 0.0, None
+        else:
+            created = float(rng.uniform(0.0, 20.0))
+            lifespan = float(rng.uniform(50.0, horizon)) if i % 7 == 0 else None
+        page = SimulatedPage(
+            url=f"http://site000.com/p{i}",
+            site_id="site000.com",
+            domain="com",
+            depth=0 if i == 0 else 1,
+            created_at=created,
+            lifespan=lifespan,
+            change_process=process,
+        )
+        site.add_page(page, is_root=(i == 0))
+    web.add_site(site)
+    return web
+
+
+def bench_collection_metrics(n_records: int, n_instants: int) -> Dict:
+    web = _build_synthetic_web(n_records)
+    rng = np.random.default_rng(113)
+    records = [
+        PageRecord(
+            url=url,
+            content="x",
+            checksum="c",
+            fetched_at=(fetched := float(rng.uniform(0.0, 140.0))),
+            first_fetched_at=fetched,
+        )
+        for url in web.urls()
+    ]
+    instants = np.linspace(1.0, 199.0, n_instants)
+    web.oracle_arrays()  # build the cache outside the timed region, like a crawl run
+
+    def run_vec() -> List[float]:
+        return [
+            collection_freshness(records, web, float(t))
+            + collection_age(records, web, float(t))
+            for t in instants
+        ]
+
+    def run_ref() -> List[float]:
+        return [
+            collection_freshness_reference(records, web, float(t))
+            + collection_age_reference(records, web, float(t))
+            for t in instants
+        ]
+
+    vec_seconds, vec = _timed(run_vec)
+    ref_seconds, ref = _timed(run_ref)
+    delta = max(abs(a - b) for a, b in zip(vec, ref))
+    return {
+        "kernel": "collection_freshness+age",
+        "params": {"n_records": n_records, "n_instants": n_instants},
+        "ref_seconds": ref_seconds,
+        "vec_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "max_abs_delta": delta,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes for the CI smoke run (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="where to write the JSON results (default: BENCH_perf.json at the "
+             "repo root, or BENCH_perf_quick.json with --quick so smoke runs "
+             "never clobber the tracked full-size trajectory)",
+    )
+    args = parser.parse_args(argv)
+    if args.output is None:
+        name = "BENCH_perf_quick.json" if args.quick else "BENCH_perf.json"
+        args.output = REPO_ROOT / name
+
+    if args.quick:
+        jobs = [
+            lambda: bench_revisit_allocation(n_pages=1200, n_samples=120),
+            lambda: bench_crawl_policy(n_pages=600, n_cycles=4),
+            lambda: bench_optimal_allocation(n_pages=400),
+            lambda: bench_collection_metrics(n_records=2000, n_instants=5),
+        ]
+    else:
+        jobs = [
+            lambda: bench_revisit_allocation(n_pages=10_000, n_samples=400),
+            lambda: bench_crawl_policy(n_pages=10_000, n_cycles=10),
+            lambda: bench_optimal_allocation(n_pages=10_000),
+            lambda: bench_collection_metrics(n_records=20_000, n_instants=20),
+        ]
+
+    results = []
+    for job in jobs:
+        result = job()
+        results.append(result)
+        print(
+            f"{result['kernel']:32s} ref {result['ref_seconds']:8.3f}s  "
+            f"vec {result['vec_seconds']:8.3f}s  speedup {result['speedup']:7.1f}x  "
+            f"max|delta| {result['max_abs_delta']:.2e}"
+        )
+
+    payload = {
+        "benchmark": "bench_perf_hotpaths",
+        "mode": "quick" if args.quick else "full",
+        "generated_unix": time.time(),
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    failures = [r for r in results if r["speedup"] < 1.0]
+    mismatches = [r for r in results if r["max_abs_delta"] > 1e-9]
+    for result in failures:
+        print(f"FAIL: {result['kernel']} is slower than its reference "
+              f"({result['speedup']:.2f}x)")
+    for result in mismatches:
+        print(f"FAIL: {result['kernel']} diverges from its reference "
+              f"(max|delta| {result['max_abs_delta']:.2e})")
+    return 1 if failures or mismatches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,10 @@ equals the live page. This package provides
 
 from repro.freshness.metrics import (
     collection_age,
+    collection_age_reference,
     collection_freshness,
+    collection_freshness_reference,
+    measure_collection,
     time_average,
 )
 from repro.freshness.analytic import (
@@ -38,7 +41,9 @@ from repro.freshness.analytic import (
     time_averaged_freshness,
 )
 from repro.freshness.optimal_allocation import (
+    optimal_frequency_curve,
     optimal_revisit_frequencies,
+    optimal_revisit_frequencies_reference,
     proportional_revisit_frequencies,
     total_freshness,
     uniform_revisit_frequencies,
@@ -53,6 +58,7 @@ from repro.freshness.policies import (
 __all__ = [
     "collection_freshness",
     "collection_age",
+    "measure_collection",
     "time_average",
     "CrawlMode",
     "UpdateMode",
@@ -67,6 +73,10 @@ __all__ = [
     "steady_shadow_freshness_at",
     "batch_shadow_freshness_at",
     "optimal_revisit_frequencies",
+    "optimal_revisit_frequencies_reference",
+    "optimal_frequency_curve",
+    "collection_freshness_reference",
+    "collection_age_reference",
     "uniform_revisit_frequencies",
     "proportional_revisit_frequencies",
     "total_freshness",

@@ -112,6 +112,16 @@ class CrawlPolicy:
 # --------------------------------------------------------------------- #
 # Per-page building blocks
 # --------------------------------------------------------------------- #
+def _effectively_static(rate: float, *spans: float) -> bool:
+    """True when ``rate`` is zero or so small that ``rate * span`` underflows.
+
+    Denormal rates (e.g. 5e-324) make products like ``lam * a`` underflow to
+    exactly 0.0, which would divide by zero in the closed-form expressions;
+    such a page changes once per ~1e300 days, i.e. never.
+    """
+    return rate == 0.0 or any(rate * span == 0.0 for span in spans)
+
+
 def expected_freshness_periodic(rate: float, revisit_interval: float) -> float:
     """Time-averaged freshness of a page revisited every ``revisit_interval`` days.
 
@@ -156,7 +166,15 @@ def expected_age_periodic(rate: float, revisit_interval: float) -> float:
     if math.isinf(revisit_interval):
         return float("inf")
     x = rate * revisit_interval
-    return revisit_interval / 2.0 - 1.0 / rate + (1.0 - math.exp(-x)) / (rate * x)
+    # The closed form I*(1/2 - 1/x + (1 - e^{-x})/x^2) cancels three
+    # O(1/x)-sized terms down to an O(x) result, which loses all precision
+    # (and can divide by an underflowed product) for small x; switch to the
+    # series I*(x/6 - x^2/24 + x^3/120 - x^4/720 + ...) there.
+    if x <= 1e-2:
+        return revisit_interval * x * (
+            1.0 / 6.0 - x / 24.0 + x * x / 120.0 - x * x * x / 720.0
+        )
+    return revisit_interval * (0.5 - 1.0 / x - math.expm1(-x) / (x * x))
 
 
 def expected_freshness_poisson_revisit(rate: float, revisit_rate: float) -> float:
@@ -240,7 +258,7 @@ def batch_inplace_freshness_at(
     _validate_batch(cycle_days, batch_duration_days)
     if t < 0:
         raise ValueError("t must be non-negative")
-    if rate == 0.0:
+    if _effectively_static(rate, batch_duration_days):
         return 1.0
     a = batch_duration_days
     big_t = cycle_days
@@ -271,7 +289,7 @@ def steady_shadow_freshness_at(
     _validate_collection(collection)
     if t < 0:
         raise ValueError("t must be non-negative")
-    if rate == 0.0:
+    if _effectively_static(rate, cycle_days):
         return 1.0 if collection == "current" else min(1.0, (t % cycle_days) / cycle_days)
     lam = rate
     big_t = cycle_days
@@ -303,7 +321,7 @@ def batch_shadow_freshness_at(
     a = batch_duration_days
     big_t = cycle_days
     tau = t % big_t
-    if rate == 0.0:
+    if _effectively_static(rate, batch_duration_days):
         if collection == "crawler":
             return min(1.0, tau / a)
         return 1.0

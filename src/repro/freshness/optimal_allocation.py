@@ -26,6 +26,13 @@ The same machinery supports per-page importance weights (Section 5.3 notes
 the UpdateModule "may need to consult the importance of a page in deciding
 on revisit frequency"): maximising ``sum w_i F(lambda_i, f_i)`` simply
 replaces the marginal-value condition by ``w_i * dF/df = mu``.
+
+The solver is vectorized: ``f_i(mu)`` is found for *all* pages at once by
+array bisection, so each step of the outer water-level search is a handful
+of NumPy passes instead of a 200-iteration scalar bisection per page. The
+original scalar solver is retained as
+:func:`optimal_revisit_frequencies_reference` for the parity suite and the
+``benchmarks/bench_perf_hotpaths.py`` speedup trajectory.
 """
 
 from __future__ import annotations
@@ -33,11 +40,20 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
+import numpy as np
 
 #: Rates below this threshold are treated as "never changes"; it avoids
 #: numerical underflow for denormal inputs and has no practical effect (the
 #: threshold corresponds to one change per ~3 billion years).
 _RATE_EPSILON = 1e-12
+
+#: Bracket bounds of the per-page frequency bisection (fetches per day).
+_FREQ_LOW = 1e-12
+_FREQ_CAP = 1e12
+
+#: Iterations of each bisection; 200 halvings drive the bracket far below
+#: any meaningful tolerance.
+_BISECTION_ITERS = 200
 
 
 def page_freshness(rate: float, frequency: float) -> float:
@@ -87,7 +103,7 @@ def total_freshness(
     """
     if len(rates) != len(frequencies):
         raise ValueError("rates and frequencies must have the same length")
-    if not rates:
+    if len(rates) == 0:
         return 0.0
     if weights is None:
         weights = [1.0] * len(rates)
@@ -105,7 +121,7 @@ def total_freshness(
 def uniform_revisit_frequencies(rates: Sequence[float], budget: float) -> List[float]:
     """Every page gets the same revisit frequency (the fixed-frequency policy)."""
     _validate_budget(rates, budget)
-    if not rates:
+    if len(rates) == 0:
         return []
     return [budget / len(rates)] * len(rates)
 
@@ -118,12 +134,12 @@ def proportional_revisit_frequencies(rates: Sequence[float], budget: float) -> L
     budget is spread uniformly.
     """
     _validate_budget(rates, budget)
-    if not rates:
+    if len(rates) == 0:
         return []
-    total_rate = sum(rates)
+    total_rate = float(sum(rates))
     if total_rate == 0.0:
         return uniform_revisit_frequencies(rates, budget)
-    return [budget * rate / total_rate for rate in rates]
+    return [budget * float(rate) / total_rate for rate in rates]
 
 
 def optimal_revisit_frequencies(
@@ -135,7 +151,8 @@ def optimal_revisit_frequencies(
     """Freshness-optimal revisit frequencies under a total budget.
 
     Args:
-        rates: Per-page Poisson change rates (changes per day).
+        rates: Per-page Poisson change rates (changes per day); any
+            sequence or NumPy array.
         budget: Total revisit budget (page fetches per day); must be
             positive when there is at least one page.
         weights: Optional importance weights; the allocation then maximises
@@ -147,6 +164,80 @@ def optimal_revisit_frequencies(
         tolerance). Pages with rate 0 always get frequency 0 (their copy is
         fresh forever); pages that change too fast relative to the budget
         may also get frequency 0, which is the Figure 9 effect.
+    """
+    rate_array, weight_array = _as_rate_and_weight_arrays(rates, budget, weights)
+    n = rate_array.size
+    if n == 0:
+        return []
+
+    changing = (rate_array > _RATE_EPSILON) & (weight_array > 0)
+    if not changing.any():
+        return [0.0] * n
+
+    active_rates = rate_array[changing]
+    active_weights = weight_array[changing]
+
+    # The marginal value of the first unit of bandwidth for page i is
+    # weights[i] / rates[i]; mu must lie below the largest such value for any
+    # page to receive bandwidth at all.
+    mu_high = float((active_weights / active_rates).max())
+    mu_low = 0.0
+
+    def allocation_for(mu: float) -> np.ndarray:
+        frequencies = np.zeros(n)
+        frequencies[changing] = _frequencies_for_marginal_array(
+            active_rates, active_weights, mu
+        )
+        return frequencies
+
+    # total is decreasing in mu: bisect for the water level that exhausts
+    # the budget. As mu -> 0+ the total grows without bound, so mu_low always
+    # ends up on the over-budget side and mu_high on the under-budget side.
+    for _ in range(_BISECTION_ITERS):
+        mu_mid = 0.5 * (mu_low + mu_high)
+        if mu_mid <= 0:
+            break
+        total = float(allocation_for(mu_mid).sum())
+        if abs(total - budget) <= tolerance * max(1.0, budget):
+            mu_low = mu_high = mu_mid
+            break
+        if total > budget:
+            mu_low = mu_mid
+        else:
+            mu_high = mu_mid
+
+    frequencies = allocation_for(mu_high if mu_high > 0 else mu_low)
+    leftover = budget - float(frequencies.sum())
+    if leftover > tolerance * max(1.0, budget) and mu_low > 0:
+        # Degenerate (but common) case: some page's marginal freshness is flat
+        # at exactly the water level — its frequency jumps discontinuously as
+        # mu crosses 1/rate, so bisection alone cannot hit the budget. The
+        # KKT-optimal completion gives the leftover budget to exactly those
+        # pages, capped at their allocation just below the water level.
+        capacity = allocation_for(mu_low) - frequencies
+        order = np.argsort(-capacity, kind="stable")
+        caps = capacity[order]
+        already_given = np.cumsum(caps) - caps
+        extras = np.clip(leftover - already_given, 0.0, caps)
+        frequencies[order] += extras
+
+    # Normalise residual numerical drift so the budget is met exactly.
+    total = float(frequencies.sum())
+    if total > 0:
+        frequencies *= budget / total
+    return [float(f) for f in frequencies]
+
+
+def optimal_revisit_frequencies_reference(
+    rates: Sequence[float],
+    budget: float,
+    weights: Optional[Sequence[float]] = None,
+    tolerance: float = 1e-9,
+) -> List[float]:
+    """Scalar-bisection implementation of :func:`optimal_revisit_frequencies`.
+
+    Kept only for the parity suite and the perf-trajectory benchmark: it
+    runs one 200-iteration bisection *per page, per water-level step*.
     """
     _validate_budget(rates, budget)
     n = len(rates)
@@ -166,9 +257,6 @@ def optimal_revisit_frequencies(
     if not changing:
         return [0.0] * n
 
-    # The marginal value of the first unit of bandwidth for page i is
-    # weights[i] / rates[i]; mu must lie below the largest such value for any
-    # page to receive bandwidth at all.
     mu_high = max(weights[index] / rates[index] for index in changing)
     mu_low = 0.0
 
@@ -183,10 +271,7 @@ def optimal_revisit_frequencies(
     def total_for(mu: float) -> float:
         return sum(allocation_for(mu))
 
-    # total_for is decreasing in mu: bisect for the water level that exhausts
-    # the budget. As mu -> 0+ the total grows without bound, so mu_low always
-    # ends up on the over-budget side and mu_high on the under-budget side.
-    for _ in range(200):
+    for _ in range(_BISECTION_ITERS):
         mu_mid = 0.5 * (mu_low + mu_high)
         if mu_mid <= 0:
             break
@@ -202,11 +287,6 @@ def optimal_revisit_frequencies(
     frequencies = allocation_for(mu_high if mu_high > 0 else mu_low)
     leftover = budget - sum(frequencies)
     if leftover > tolerance * max(1.0, budget) and mu_low > 0:
-        # Degenerate (but common) case: some page's marginal freshness is flat
-        # at exactly the water level — its frequency jumps discontinuously as
-        # mu crosses 1/rate, so bisection alone cannot hit the budget. The
-        # KKT-optimal completion gives the leftover budget to exactly those
-        # pages, capped at their allocation just below the water level.
         generous = allocation_for(mu_low)
         jumps = sorted(
             range(n), key=lambda i: generous[i] - frequencies[i], reverse=True
@@ -219,7 +299,6 @@ def optimal_revisit_frequencies(
                 frequencies[index] += extra
                 leftover -= extra
 
-    # Normalise residual numerical drift so the budget is met exactly.
     total = sum(frequencies)
     if total > 0:
         scale = budget / total
@@ -248,15 +327,69 @@ def optimal_frequency_curve(
     """
     population = list(population_rates) if population_rates is not None else list(rates)
     allocation = optimal_revisit_frequencies(population, budget)
-    # Recover the water level from any page that received bandwidth.
-    mu = None
-    for rate, frequency in zip(population, allocation):
-        if frequency > 0 and rate > 0:
-            mu = marginal_freshness(rate, frequency)
-            break
-    if mu is None:
+    # Recover the water level as the median marginal over all funded pages:
+    # every funded page sits at the same water level in exact arithmetic, so
+    # the median averages out the per-page bisection noise that a single
+    # (arbitrary) page would contribute.
+    marginals = [
+        marginal_freshness(rate, frequency)
+        for rate, frequency in zip(population, allocation)
+        if frequency > 0 and rate > 0
+    ]
+    if not marginals:
         return [0.0 for _ in rates]
+    mu = float(np.median(marginals))
     return [_frequency_for_marginal(rate, 1.0, mu) if rate > 0 else 0.0 for rate in rates]
+
+
+# --------------------------------------------------------------------- #
+# Internals
+# --------------------------------------------------------------------- #
+def _marginal_freshness_array(rates: np.ndarray, frequencies: np.ndarray) -> np.ndarray:
+    """Elementwise ``dF/df`` for positive rates and frequencies."""
+    x = rates / frequencies
+    decay = np.exp(-x)
+    return (1.0 - decay) / rates - decay / frequencies
+
+
+def _frequencies_for_marginal_array(
+    rates: np.ndarray, weights: np.ndarray, mu: float
+) -> np.ndarray:
+    """Solve ``weight * dF/df(rate, f) = mu`` for every page at once.
+
+    Array counterpart of :func:`_frequency_for_marginal`: pages whose first
+    marginal unit of bandwidth is already worth less than ``mu`` get 0; the
+    rest are solved together by array bisection with the same bracket
+    growth and iteration count as the scalar reference.
+    """
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    frequencies = np.zeros(rates.size)
+    funded = mu < weights / rates
+    if not funded.any():
+        return frequencies
+    rate = rates[funded]
+    target = mu / weights[funded]
+
+    def gap_positive(freq: np.ndarray) -> np.ndarray:
+        return _marginal_freshness_array(rate, freq) - target > 0
+
+    low = np.full(rate.shape, _FREQ_LOW)
+    high = np.maximum(rate, 1.0)
+    growing = np.ones(rate.shape, dtype=bool)
+    while True:
+        need = growing & gap_positive(high)
+        if not need.any():
+            break
+        high[need] *= 2.0
+        growing &= high <= _FREQ_CAP
+    for _ in range(_BISECTION_ITERS):
+        mid = 0.5 * (low + high)
+        above = gap_positive(mid)
+        low = np.where(above, mid, low)
+        high = np.where(above, high, mid)
+    frequencies[funded] = 0.5 * (low + high)
+    return frequencies
 
 
 def _frequency_for_marginal(rate: float, weight: float, mu: float) -> float:
@@ -277,13 +410,13 @@ def _frequency_for_marginal(rate: float, weight: float, mu: float) -> float:
     def gap(frequency: float) -> float:
         return marginal_freshness(rate, frequency) - target
 
-    low = 1e-12
+    low = _FREQ_LOW
     high = max(rate, 1.0)
     while gap(high) > 0:
         high *= 2.0
-        if high > 1e12:
+        if high > _FREQ_CAP:
             break
-    for _ in range(200):
+    for _ in range(_BISECTION_ITERS):
         mid = 0.5 * (low + high)
         if gap(mid) > 0:
             low = mid
@@ -292,8 +425,26 @@ def _frequency_for_marginal(rate: float, weight: float, mu: float) -> float:
     return 0.5 * (low + high)
 
 
+def _as_rate_and_weight_arrays(
+    rates: Sequence[float], budget: float, weights: Optional[Sequence[float]]
+):
+    rate_array = np.asarray(rates, dtype=float)
+    if rate_array.ndim != 1:
+        raise ValueError("rates must be a one-dimensional sequence")
+    _validate_budget(rate_array, budget)
+    if weights is None:
+        weight_array = np.ones(rate_array.size)
+    else:
+        weight_array = np.asarray(weights, dtype=float)
+        if weight_array.shape != rate_array.shape:
+            raise ValueError("weights must have the same length as rates")
+        if np.any(weight_array < 0):
+            raise ValueError("weights must be non-negative")
+    return rate_array, weight_array
+
+
 def _validate_budget(rates: Sequence[float], budget: float) -> None:
     if any(rate < 0 for rate in rates):
         raise ValueError("rates must be non-negative")
-    if rates and budget <= 0:
+    if len(rates) > 0 and budget <= 0:
         raise ValueError("budget must be positive when pages are present")

@@ -4,6 +4,12 @@ A :class:`FreshnessTracker` periodically samples the freshness (and age) of
 a collection against the simulated-web oracle and accumulates a
 :class:`FreshnessTimeSeries`, from which time-averaged values and
 trajectories (the curves of Figures 7 and 8) can be read.
+
+Each sample runs through the batched oracle path of
+:mod:`repro.freshness.metrics`: the record list is materialised once and
+measured with a handful of NumPy passes over the web's precomputed
+change-time arrays, so measurement events inside ``IncrementalCrawler.run()``
+cost O(records) array work rather than O(records) Python oracle calls.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.freshness.metrics import collection_age, collection_freshness, time_average
+from repro.freshness.metrics import measure_collection, time_average
 from repro.simweb.web import SimulatedWeb
 from repro.storage.collection import Collection
 
@@ -93,12 +99,13 @@ class FreshnessTracker:
 
     def sample(self, at: float) -> float:
         """Measure the collection freshness at virtual time ``at`` and record it."""
-        records = self._collection.current_records()
-        freshness = collection_freshness(records, self._web, at)
+        records = list(self._collection.current_records())
+        freshness, age = measure_collection(
+            records, self._web, at, include_age=self._track_age
+        )
         if self._denominator is not None:
             freshness = freshness * len(records) / self._denominator
             freshness = min(1.0, freshness)
-        age = collection_age(records, self._web, at) if self._track_age else None
         self.series.add(at, freshness, age)
         return freshness
 

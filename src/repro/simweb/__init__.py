@@ -34,7 +34,7 @@ from repro.simweb.domains import (
 from repro.simweb.lifespan import LifespanModel, sample_lifespan
 from repro.simweb.page import PageSnapshot, SimulatedPage
 from repro.simweb.site import SimulatedSite
-from repro.simweb.web import SimulatedWeb
+from repro.simweb.web import OracleArrays, SimulatedWeb
 from repro.simweb.generator import WebGeneratorConfig, generate_web
 from repro.simweb.linkgraph import LinkGraphConfig, generate_site_links, generate_cross_links
 
@@ -53,6 +53,7 @@ __all__ = [
     "PageSnapshot",
     "SimulatedSite",
     "SimulatedWeb",
+    "OracleArrays",
     "WebGeneratorConfig",
     "generate_web",
     "LinkGraphConfig",

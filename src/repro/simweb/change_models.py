@@ -40,6 +40,7 @@ class ChangeProcess(ABC):
 
     def __init__(self) -> None:
         self._change_times: Optional[List[float]] = None
+        self._change_times_array: Optional[np.ndarray] = None
         self._horizon: float = 0.0
 
     @abstractmethod
@@ -61,6 +62,7 @@ class ChangeProcess(ABC):
             raise ValueError("horizon must be non-negative")
         self._horizon = horizon
         self._change_times = sorted(self._sample_change_times(horizon, rng))
+        self._change_times_array = None
 
     @property
     def is_materialised(self) -> bool:
@@ -76,6 +78,20 @@ class ChangeProcess(ABC):
         """All sampled change times, sorted ascending."""
         self._require_materialised()
         return tuple(self._change_times)  # type: ignore[arg-type]
+
+    def change_times_array(self) -> np.ndarray:
+        """Sampled change times as a cached, read-only NumPy array.
+
+        This is the representation the batched oracle consumes; the array is
+        built once per materialisation, so repeated batched queries pay no
+        conversion cost.
+        """
+        self._require_materialised()
+        if self._change_times_array is None:
+            array = np.asarray(self._change_times, dtype=float)
+            array.setflags(write=False)
+            self._change_times_array = array
+        return self._change_times_array
 
     def version_at(self, t: float) -> int:
         """Number of changes that occurred at or before time ``t``.

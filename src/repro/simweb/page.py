@@ -143,6 +143,14 @@ class SimulatedPage:
         """Content version at time ``t`` (number of changes so far)."""
         return self.change_process.version_at(max(0.0, t - self.created_at))
 
+    def change_times_array(self) -> np.ndarray:
+        """The page's change times (relative to creation) as a cached array.
+
+        Used by the batched :class:`~repro.simweb.web.SimulatedWeb` oracle to
+        build its flat event arrays without touching per-call Python lists.
+        """
+        return self.change_process.change_times_array()
+
     def changed_between(self, t0: float, t1: float) -> bool:
         """True when the content changed in the interval ``(t0, t1]``."""
         return self.version_at(t1) != self.version_at(t0)

@@ -10,14 +10,140 @@ and exposes the oracle queries the rest of the system needs:
   at some earlier version is still current (used by the freshness metric,
   which by definition compares the local collection against the live web);
 * per-domain and per-site enumeration used by the experiment package.
+
+Besides the scalar queries there is a *batched* oracle API —
+:meth:`SimulatedWeb.versions_at`, :meth:`SimulatedWeb.exists_mask` and
+:meth:`SimulatedWeb.up_to_date_mask` — backed by :class:`OracleArrays`, a
+lazily built flat array of every page's change times plus per-page offsets.
+A freshness measurement over an N-page collection is then a few NumPy
+passes (one vectorized binary search over the flat event array) instead of
+N Python-level oracle calls, which is what makes frequent measurement
+events affordable inside ``IncrementalCrawler.run()``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.simweb.page import PageSnapshot, SimulatedPage
 from repro.simweb.site import SimulatedSite
+
+TimeLike = Union[float, np.ndarray, Sequence[float]]
+
+
+def _segment_searchsorted_right(
+    flat: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    queries: np.ndarray,
+) -> np.ndarray:
+    """``np.searchsorted(segment, query, side="right")`` for many segments.
+
+    ``flat`` concatenates independently sorted segments; segment ``k`` of
+    a query occupies ``flat[starts[k] : starts[k] + lengths[k]]``. The
+    search runs as one vectorized binary search across all queries, so the
+    cost is ``O(n_queries * log(max_segment))`` NumPy element operations
+    with no Python-level per-segment loop — and, unlike composite-key
+    tricks, it is exact for any float inputs.
+    """
+    n = queries.size
+    lo = np.zeros(n, dtype=np.int64)
+    hi = lengths.astype(np.int64, copy=True)
+    if flat.size == 0 or n == 0:
+        return lo
+    active = np.nonzero(lo < hi)[0]
+    while active.size:
+        mid = (lo[active] + hi[active]) >> 1
+        below = flat[starts[active] + mid] <= queries[active]
+        lo[active] = np.where(below, mid + 1, lo[active])
+        hi[active] = np.where(below, hi[active], mid)
+        active = active[lo[active] < hi[active]]
+    return lo
+
+
+class OracleArrays:
+    """Array-of-structs view of every page, for batched oracle queries.
+
+    Built lazily by :meth:`SimulatedWeb.oracle_arrays` and cached until the
+    web is mutated. All change times are stored relative to each page's
+    creation day (the same convention as :meth:`SimulatedPage.version_at`),
+    concatenated into one flat array with per-page offsets.
+    """
+
+    def __init__(self, pages: Sequence[SimulatedPage]) -> None:
+        n = len(pages)
+        self.index: Dict[str, int] = {page.url: i for i, page in enumerate(pages)}
+        self.created = np.array([page.created_at for page in pages], dtype=float)
+        self.deleted = np.array(
+            [np.inf if page.deleted_at is None else page.deleted_at for page in pages],
+            dtype=float,
+        )
+        self.materialised = np.array(
+            [page.change_process.is_materialised for page in pages], dtype=bool
+        )
+        per_page: List[np.ndarray] = []
+        empty = np.empty(0)
+        for page in pages:
+            if page.change_process.is_materialised:
+                per_page.append(page.change_times_array())
+            else:
+                per_page.append(empty)
+        self.lengths = np.array([len(a) for a in per_page], dtype=np.int64)
+        self.offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self.lengths, out=self.offsets[1:])
+        self.flat = np.concatenate(per_page) if n else np.empty(0)
+
+    def lookup(self, urls: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+        """Map URLs to page ids; unknown URLs get id ``-1``.
+
+        Returns ``(ids, known)`` where ``known`` flags the resolvable URLs.
+        """
+        ids = np.array([self.index.get(url, -1) for url in urls], dtype=np.int64)
+        return ids, ids >= 0
+
+    def exists(self, ids: np.ndarray, t: TimeLike) -> np.ndarray:
+        """Whether each page exists (is inside its window) at time ``t``."""
+        t = np.asarray(t, dtype=float)
+        return (t >= self.created[ids]) & (t < self.deleted[ids])
+
+    def versions(self, ids: np.ndarray, t: TimeLike) -> np.ndarray:
+        """Content version of each page at time ``t`` (scalar or per-page).
+
+        Matches :meth:`SimulatedPage.version_at`, including its clamp of
+        pre-creation queries to relative time zero.
+
+        Raises:
+            RuntimeError: If any queried page's change process has not been
+                materialised (mirroring the scalar oracle).
+        """
+        if not self.materialised[ids].all():
+            raise RuntimeError(
+                "change process has not been materialised; call materialise() first"
+            )
+        relative = np.maximum(0.0, np.asarray(t, dtype=float) - self.created[ids])
+        relative = np.broadcast_to(relative, ids.shape)
+        return _segment_searchsorted_right(
+            self.flat, self.offsets[ids], self.lengths[ids], relative
+        )
+
+    def next_change_relative(self, ids: np.ndarray, versions: np.ndarray) -> np.ndarray:
+        """First change time strictly after version ``versions`` was current.
+
+        Given the version counts at some instant (i.e. the number of changes
+        at or before it), the next change is simply the event at that index
+        in each page's segment — ``inf`` when the page never changes again.
+        Times are relative to each page's creation, like
+        :meth:`ChangeProcess.next_change_after`.
+        """
+        next_times = np.full(ids.shape, np.inf)
+        selected = np.nonzero(versions < self.lengths[ids])[0]
+        if selected.size:
+            next_times[selected] = self.flat[
+                self.offsets[ids[selected]] + versions[selected]
+            ]
+        return next_times
 
 
 class SimulatedWeb:
@@ -35,6 +161,7 @@ class SimulatedWeb:
         self.horizon_days = horizon_days
         self._sites: Dict[str, SimulatedSite] = {}
         self._pages: Dict[str, SimulatedPage] = {}
+        self._oracle_arrays: Optional[OracleArrays] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -51,6 +178,7 @@ class SimulatedWeb:
         if page.url in self._pages:
             raise ValueError(f"duplicate URL {page.url}")
         self._pages[page.url] = page
+        self._oracle_arrays = None
 
     def add_page(self, page: SimulatedPage) -> None:
         """Register a page created after its site was added."""
@@ -143,6 +271,98 @@ class SimulatedWeb:
         """
         live_version = self.current_version(url, t)
         return live_version is not None and live_version == stored_version
+
+    # ------------------------------------------------------------------ #
+    # Batched oracle queries
+    # ------------------------------------------------------------------ #
+    def oracle_arrays(self) -> OracleArrays:
+        """The cached array view of all pages for batched queries.
+
+        Rebuilt lazily after any mutation of the page set. If a page's
+        change process is re-materialised after the cache was built, call
+        :meth:`invalidate_oracle_cache` manually (the generator materialises
+        every process before the web is queried, so this only matters for
+        hand-built webs in tests).
+        """
+        if self._oracle_arrays is None:
+            self._oracle_arrays = OracleArrays(list(self._pages.values()))
+        return self._oracle_arrays
+
+    def invalidate_oracle_cache(self) -> None:
+        """Drop the cached :class:`OracleArrays` (rebuilt on next use)."""
+        self._oracle_arrays = None
+
+    def versions_at(self, urls: Sequence[str], t: TimeLike) -> np.ndarray:
+        """Content versions of many pages at once.
+
+        Args:
+            urls: Page URLs; every URL must be known to the web.
+            t: Evaluation instant — a scalar applied to all pages, or one
+                instant per URL.
+
+        Returns:
+            ``int64`` array of content versions, one per URL, matching
+            :meth:`SimulatedPage.version_at` exactly. Existence is *not*
+            consulted (a deleted page still has a last version); combine
+            with :meth:`exists_mask` for ``current_version`` semantics.
+
+        Raises:
+            KeyError: If any URL is unknown.
+        """
+        self._check_time_array(t)
+        arrays = self.oracle_arrays()
+        ids, known = arrays.lookup(urls)
+        if not known.all():
+            missing = [url for url, ok in zip(urls, known) if not ok]
+            raise KeyError(f"unknown URL(s): {missing[:3]}")
+        return arrays.versions(ids, t)
+
+    def exists_mask(self, urls: Sequence[str], t: TimeLike) -> np.ndarray:
+        """Batched :meth:`exists`: one boolean per URL (False when unknown)."""
+        self._check_time_array(t)
+        arrays = self.oracle_arrays()
+        ids, known = arrays.lookup(urls)
+        result = np.zeros(len(ids), dtype=bool)
+        if known.any():
+            t_known = t if np.ndim(t) == 0 else np.asarray(t, dtype=float)[known]
+            result[known] = arrays.exists(ids[known], t_known)
+        return result
+
+    def up_to_date_mask(
+        self, url_version_pairs: Sequence[Tuple[str, int]], t: TimeLike
+    ) -> np.ndarray:
+        """Batched :meth:`is_up_to_date` over ``(url, stored_version)`` pairs.
+
+        Args:
+            url_version_pairs: Stored copies to check, as
+                ``(url, version-at-fetch-time)`` pairs.
+            t: Evaluation instant — scalar or one instant per pair.
+
+        Returns:
+            Boolean array: True where the stored copy still matches the live
+            page. Unknown URLs and pages that no longer exist are False,
+            exactly like the scalar query.
+        """
+        self._check_time_array(t)
+        arrays = self.oracle_arrays()
+        urls = [pair[0] for pair in url_version_pairs]
+        stored = np.array([pair[1] for pair in url_version_pairs], dtype=np.int64)
+        ids, known = arrays.lookup(urls)
+        result = np.zeros(len(ids), dtype=bool)
+        if known.any():
+            t_known = t if np.ndim(t) == 0 else np.asarray(t, dtype=float)[known]
+            sub_ids = ids[known]
+            alive = arrays.exists(sub_ids, t_known)
+            live_versions = arrays.versions(sub_ids, t_known)
+            result[known] = alive & (live_versions == stored[known])
+        return result
+
+    def _check_time_array(self, t: TimeLike) -> None:
+        t = np.asarray(t, dtype=float)
+        if t.size == 0:
+            return
+        self._check_time(float(t.min()))
+        self._check_time(float(t.max()))
 
     def live_urls_at(self, t: float) -> List[str]:
         """URLs of all pages that exist at time ``t``."""

@@ -270,3 +270,40 @@ class TestTrajectories:
     def test_zero_rate_trajectories(self):
         assert batch_inplace_freshness_at(3.0, 0.0, 30.0, 7.0) == 1.0
         assert batch_shadow_freshness_at(10.0, 0.0, 30.0, 7.0, "current") == 1.0
+
+
+class TestDenormalRates:
+    """Regression: denormal rates (e.g. 5e-324) underflow products like
+    ``rate * batch_duration`` to exactly 0.0, which used to divide by zero
+    in the trajectory formulas; such pages must behave as never-changing."""
+
+    DENORMAL = 5e-324
+
+    def test_trajectories_treat_denormal_rate_as_static(self):
+        assert batch_inplace_freshness_at(3.0, self.DENORMAL, 30.0, 0.05) == 1.0
+        assert steady_shadow_freshness_at(3.0, self.DENORMAL, 0.05) == 1.0
+        assert batch_shadow_freshness_at(3.0, self.DENORMAL, 30.0, 0.05, "current") == 1.0
+        crawler = batch_shadow_freshness_at(3.0, self.DENORMAL, 30.0, 0.05, "crawler")
+        assert 0.0 <= crawler <= 1.0
+
+    def test_freshness_at_dispatch_is_bounded(self):
+        for policy in paper_table2_policies().values():
+            for collection in ("current", "crawler"):
+                value = freshness_at(policy, 2.5, self.DENORMAL, collection)
+                assert 0.0 <= value <= 1.0
+
+    def test_expected_age_denormal_rate_is_negligible(self):
+        assert 0.0 <= expected_age_periodic(self.DENORMAL, 0.05) < 1e-12
+        assert 0.0 <= expected_age_periodic(self.DENORMAL, 90.0) < 1e-12
+
+    def test_expected_age_small_rates_stable(self):
+        """Regression: small-but-normal rates used to either divide by an
+        underflowed ``rate * x`` (1e-300) or cancel catastrophically to a
+        huge negative age (1e-18); the series branch keeps the limit
+        ``rate * I^2 / 6`` instead."""
+        assert expected_age_periodic(1e-300, 1.0) == pytest.approx(1e-300 / 6.0)
+        assert expected_age_periodic(1e-18, 1.0) == pytest.approx(1e-18 / 6.0)
+        # The series and closed-form branches agree where they meet.
+        below, above = expected_age_periodic(0.00999, 1.0), expected_age_periodic(0.0101, 1.0)
+        assert 0.0 < below < above
+        assert above == pytest.approx(0.0101 / 6.0, rel=1e-2)
