@@ -7,72 +7,44 @@ frequency. Section 4.3 quantifies the scheduling part, citing [CGM99b]:
 optimising revisit frequencies improves freshness by 10-23% over the fixed
 (uniform) policy.
 
-The benchmark evaluates uniform, proportional and optimal revisit policies
-over a page population drawn from the calibrated domain mix, both with the
-closed-form freshness formula and with the Monte-Carlo simulator, and also
-reports the full design-space comparison (crawl mode x update mode x
-scheduling) that Figure 10 tabulates qualitatively.
+Both experiments run through the declarative API: the ``"revisit-policies"``
+scenario evaluates uniform, proportional and optimal revisit policies over
+one calibrated-rate population (drawn by
+:func:`repro.simweb.domains.sample_calibrated_rates`) with the closed-form
+freshness formula and the vectorized Monte-Carlo simulator; the ``"table2"``
+scenario quantifies the full design-space comparison (crawl mode x update
+mode) that Figure 10 tabulates qualitatively.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.report import format_table
-from repro.freshness.analytic import time_averaged_freshness
-from repro.freshness.optimal_allocation import (
-    optimal_revisit_frequencies,
-    proportional_revisit_frequencies,
-    total_freshness,
-    uniform_revisit_frequencies,
-)
-from repro.simulation.crawler_sim import simulate_crawl_policy, simulate_revisit_allocation
-from repro.simulation.scenarios import paper_table2_policies
-from repro.simweb.domains import DOMAIN_PROFILES, RATE_CLASSES
+from repro.api import ExperimentSpec, run
 
-
-def _calibrated_rate_population(n_pages: int, seed: int = 5) -> list:
-    """Draw page change rates from the calibrated per-domain mixtures."""
-    rng = np.random.default_rng(seed)
-    total_sites = sum(p.site_count for p in DOMAIN_PROFILES.values())
-    rates = []
-    for profile in DOMAIN_PROFILES.values():
-        share = profile.site_count / total_sites
-        for _ in range(int(round(n_pages * share))):
-            rate_class = RATE_CLASSES[
-                rng.choice(len(RATE_CLASSES), p=np.asarray(profile.rate_mixture))
-            ]
-            rates.append(rate_class.rate_per_day)
-    return rates
+#: Scenario policy name -> the label Figure 10 uses for it.
+POLICY_LABELS = {
+    "uniform": "fixed (uniform)",
+    "proportional": "proportional",
+    "optimal": "optimal (variable)",
+}
 
 
 def test_fig10_revisit_policy_comparison(benchmark):
     """Variable-frequency scheduling beats fixed-frequency scheduling."""
-    rates = _calibrated_rate_population(400)
-    budget = len(rates) / 15.0  # on average each page can be visited every 15 days
+    spec = ExperimentSpec(
+        name="bench/revisit-policies", kind="scenario", scenario="revisit-policies"
+    )
 
-    def run():
-        allocations = {
-            "fixed (uniform)": uniform_revisit_frequencies(rates, budget),
-            "proportional": proportional_revisit_frequencies(rates, budget),
-            "optimal (variable)": optimal_revisit_frequencies(rates, budget),
-        }
-        analytic = {
-            name: total_freshness(rates, freqs) for name, freqs in allocations.items()
-        }
-        simulated = {}
-        for name, freqs in allocations.items():
-            intervals = [1.0 / f if f > 0 else float("inf") for f in freqs]
-            simulated[name] = simulate_revisit_allocation(
-                rates, intervals, duration_days=240.0, n_samples=200, seed=9
-            ).mean_freshness
-        return analytic, simulated
+    def run_spec():
+        return run(spec)
 
-    analytic, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
-    uniform = analytic["fixed (uniform)"]
+    result = benchmark.pedantic(run_spec, rounds=1, iterations=1)
+    analytic = result.tables["analytic"]
+    simulated = result.tables["simulated"]
+    uniform = analytic["uniform"]
     rows = [
         (
-            name,
+            POLICY_LABELS[name],
             f"{analytic[name]:.3f}",
             f"{simulated[name]:.3f}",
             f"{100.0 * (analytic[name] - uniform) / uniform:+.1f}%",
@@ -88,26 +60,24 @@ def test_fig10_revisit_policy_comparison(benchmark):
               "(paper cites 10-23%)",
     ))
 
-    improvement = (analytic["optimal (variable)"] - uniform) / uniform
+    improvement = (analytic["optimal"] - uniform) / uniform
     assert improvement > 0.05
-    assert analytic["optimal (variable)"] >= analytic["proportional"] - 1e-9
-    assert abs(simulated["optimal (variable)"] - analytic["optimal (variable)"]) < 0.06
+    assert analytic["optimal"] >= analytic["proportional"] - 1e-9
+    assert abs(simulated["optimal"] - analytic["optimal"]) < 0.06
 
 
 def test_fig10_design_space_summary(benchmark):
     """The qualitative Figure 10 grid, quantified with the Table 2 scenario."""
-    from repro.simulation.scenarios import table2_scenario_rate
+    spec = ExperimentSpec(
+        name="bench/design-space", kind="scenario", scenario="table2",
+        params={"simulate": False},
+    )
 
-    rate = table2_scenario_rate()
-    policies = paper_table2_policies()
+    def run_spec():
+        return run(spec)
 
-    def run():
-        return {
-            name: time_averaged_freshness(policy, rate)
-            for name, policy in policies.items()
-        }
-
-    freshness = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_spec, rounds=1, iterations=1)
+    freshness = result.tables["analytic"]
     incremental = freshness["steady / in-place"]
     periodic = freshness["batch / shadowing"]
     print()

@@ -7,66 +7,53 @@ Paper findings being reproduced:
 * both have the same time-averaged freshness when they revisit pages at the
   same average speed.
 
-The benchmark produces both the analytic trajectories and a Monte-Carlo
-simulation of the same policies and checks they agree.
+The experiment runs through the declarative API: the ``"figure7"`` scenario
+registry entry produces both the analytic trajectories and a Monte-Carlo
+simulation of the same policies, and the benchmark checks they agree.
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import format_series, format_table
-from repro.freshness.analytic import freshness_trajectory, time_averaged_freshness
-from repro.simulation.crawler_sim import simulate_crawl_policy
-from repro.simulation.scenarios import figure7_change_rate, figure7_policies
+from repro.api import ExperimentSpec, run
+
+POLICY_NAMES = ("batch-mode", "steady")
 
 
 def test_fig7_trajectories_and_time_average(benchmark):
     """Figure 7(a)/(b): trajectories plus the equal-time-average claim."""
-    rate = figure7_change_rate()
-    policies = figure7_policies()
+    spec = ExperimentSpec(name="bench/figure7", kind="scenario", scenario="figure7")
 
-    def run():
-        analytic = {
-            name: freshness_trajectory(policy, rate, duration_days=90.0, n_points=90)
-            for name, policy in policies.items()
-        }
-        simulated = {
-            name: simulate_crawl_policy([rate] * 300, policy, n_cycles=6, seed=7)
-            for name, policy in policies.items()
-        }
-        return analytic, simulated
+    def run_spec():
+        return run(spec)
 
-    analytic, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_spec, rounds=1, iterations=1)
+    analytic_mean = result.tables["analytic_mean"]
+    simulated_mean = result.tables["simulated_mean"]
 
     print()
-    for name in policies:
-        times, values = analytic[name]
+    for name in POLICY_NAMES:
+        times = result.series[f"{name}/times"]
+        values = result.series[f"{name}/freshness"]
         print(format_series(times, values, x_label="day", y_label="freshness",
                             title=f"Figure 7 ({name}) analytic trajectory",
                             max_points=12))
 
-    rows = []
-    for name, policy in policies.items():
-        rows.append(
-            (
-                name,
-                f"{time_averaged_freshness(policy, rate):.3f}",
-                f"{simulated[name].mean_freshness:.3f}",
-            )
-        )
+    rows = [
+        (name, f"{analytic_mean[name]:.3f}", f"{simulated_mean[name]:.3f}")
+        for name in POLICY_NAMES
+    ]
     print(format_table(
         ["crawler", "analytic mean freshness", "simulated mean freshness"], rows,
         title="Figure 7: batch and steady crawlers have equal time-averaged freshness",
     ))
 
-    batch_mean = time_averaged_freshness(policies["batch-mode"], rate)
-    steady_mean = time_averaged_freshness(policies["steady"], rate)
-    assert batch_mean == steady_mean
+    assert analytic_mean["batch-mode"] == analytic_mean["steady"]
     # Simulation agrees with the analytic time averages.
-    for name, policy in policies.items():
-        assert abs(simulated[name].mean_freshness
-                   - time_averaged_freshness(policy, rate)) < 0.05
+    for name in POLICY_NAMES:
+        assert abs(simulated_mean[name] - analytic_mean[name]) < 0.05
     # Saw-tooth vs. flat: the batch trajectory oscillates, the steady one not.
-    batch_values = analytic["batch-mode"][1]
-    steady_values = analytic["steady"][1]
+    batch_values = result.series["batch-mode/freshness"]
+    steady_values = result.series["steady/freshness"]
     assert max(batch_values) - min(batch_values) > 0.2
     assert max(steady_values) - min(steady_values) < 1e-9

@@ -8,33 +8,33 @@ Paper findings being reproduced:
   shadowed current collection at all times — "freshness of the current
   collection is always higher without shadowing";
 * for a batch-mode crawler, the two differ only while the crawler runs.
+
+Both variants run through the declarative API as the ``"figure8"`` scenario
+registry entry (``variant="steady"`` / ``variant="batch"``).
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import format_series, format_table
-from repro.freshness.analytic import (
-    batch_inplace_freshness_at,
-    batch_shadow_freshness_at,
-    steady_inplace_freshness_at,
-    steady_shadow_freshness_at,
-)
-from repro.simulation.scenarios import figure7_change_rate, figure8_policies
+from repro.api import ExperimentSpec, run
+from repro.simulation.scenarios import figure8_policies
 
 
 def test_fig8a_steady_crawler_with_shadowing(benchmark):
     """Figure 8(a): steady crawler — shadowing always hurts."""
-    rate = figure7_change_rate()
-    cycle = figure8_policies()["steady with shadowing"].cycle_days
+    spec = ExperimentSpec(
+        name="bench/figure8a", kind="scenario", scenario="figure8",
+        params={"variant": "steady"},
+    )
 
-    def run():
-        times = [cycle * i / 200 for i in range(401)]  # two cycles
-        crawler = [steady_shadow_freshness_at(t, rate, cycle, "crawler") for t in times]
-        current = [steady_shadow_freshness_at(t, rate, cycle, "current") for t in times]
-        inplace = [steady_inplace_freshness_at(t, rate, cycle) for t in times]
-        return times, crawler, current, inplace
+    def run_spec():
+        return run(spec)
 
-    times, crawler, current, inplace = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_spec, rounds=1, iterations=1)
+    times = result.series["times"]
+    crawler = result.series["crawler"]
+    current = result.series["current"]
+    inplace = result.series["in_place"]
     print()
     print(format_series(times, current, x_label="day", y_label="freshness",
                         title="Figure 8(a) bottom: current collection (shadowing)",
@@ -44,6 +44,7 @@ def test_fig8a_steady_crawler_with_shadowing(benchmark):
           f"max gap {max(gap):.3f} (paper: dashed line always higher)")
     assert min(gap) >= -1e-9
     assert max(gap) > 0.05
+    assert result.summary["min_inplace_advantage"] >= -1e-9
     # The crawler's collection restarts from zero at each cycle boundary.
     assert crawler[0] < 0.01
     assert crawler[199] > crawler[10]
@@ -51,19 +52,20 @@ def test_fig8a_steady_crawler_with_shadowing(benchmark):
 
 def test_fig8b_batch_crawler_with_shadowing(benchmark):
     """Figure 8(b): batch crawler — shadowing only matters while crawling."""
-    rate = figure7_change_rate()
     policy = figure8_policies()["batch-mode with shadowing"]
-    cycle, batch = policy.cycle_days, policy.batch_duration_days
+    batch = policy.batch_duration_days
+    spec = ExperimentSpec(
+        name="bench/figure8b", kind="scenario", scenario="figure8",
+        params={"variant": "batch"},
+    )
 
-    def run():
-        times = [cycle * i / 300 for i in range(301)]
-        shadowed = [
-            batch_shadow_freshness_at(t, rate, cycle, batch, "current") for t in times
-        ]
-        inplace = [batch_inplace_freshness_at(t, rate, cycle, batch) for t in times]
-        return times, shadowed, inplace
+    def run_spec():
+        return run(spec)
 
-    times, shadowed, inplace = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_spec, rounds=1, iterations=1)
+    times = result.series["times"]
+    shadowed = result.series["current"]
+    inplace = result.series["in_place"]
     print()
     rows = []
     for label, selector in (

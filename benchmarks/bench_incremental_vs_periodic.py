@@ -13,21 +13,20 @@ crawl speed, and compare
 * the peak crawl speed each needs (the paper's operational argument for the
   steady crawler).
 
-It also measures the scheduling-throughput argument for separating the
-update decision from the refinement decision (Section 5.3).
+Both crawler runs are declared as ``"crawl"`` experiment specs and executed
+by :func:`repro.api.run` against one shared synthetic web. It also measures
+the scheduling-throughput argument for separating the update decision from
+the refinement decision (Section 5.3).
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.analysis.report import format_table
-from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
-from repro.core.periodic_crawler import PeriodicCrawler, PeriodicCrawlerConfig
-from repro.simweb.generator import WebGeneratorConfig, generate_web
+from repro.api import CrawlerSpec, ExperimentSpec, PolicySpec, WebSpec, run
+from repro.api.runner import build_web
 
 #: A dedicated (smaller) web so this end-to-end benchmark stays fast.
-CRAWLER_WEB_CONFIG = WebGeneratorConfig(
+CRAWLER_WEB_SPEC = WebSpec(
     site_scale=0.05,
     pages_per_site=25,
     horizon_days=70.0,
@@ -41,51 +40,61 @@ DURATION_DAYS = 60.0
 #: Average fetches per day granted to both crawlers.
 AVERAGE_BUDGET = 4.0 * CAPACITY / CYCLE_DAYS
 
+INCREMENTAL_SPEC = ExperimentSpec(
+    name="bench/incremental",
+    kind="crawl",
+    web=CRAWLER_WEB_SPEC,
+    crawler=CrawlerSpec(
+        kind="incremental",
+        collection_capacity=CAPACITY,
+        crawl_budget_per_day=AVERAGE_BUDGET,
+        duration_days=DURATION_DAYS,
+        ranking_interval_days=5.0,
+        measurement_interval_days=1.0,
+        track_quality=True,
+    ),
+    policy=PolicySpec(revisit_policy="optimal", estimator="ep"),
+)
+
+PERIODIC_SPEC = ExperimentSpec(
+    name="bench/periodic",
+    kind="crawl",
+    web=CRAWLER_WEB_SPEC,
+    crawler=CrawlerSpec(
+        kind="periodic",
+        collection_capacity=CAPACITY,
+        # The batch crawler compresses the same work into a shorter
+        # window, so its peak speed is higher (the paper's point).
+        crawl_budget_per_day=AVERAGE_BUDGET * 4.0,
+        duration_days=DURATION_DAYS,
+        cycle_days=CYCLE_DAYS,
+        measurement_interval_days=1.0,
+        track_quality=True,
+    ),
+)
+
 
 def test_incremental_vs_periodic_crawler(benchmark):
     """The incremental crawler is fresher and at least as high-quality."""
-    web = generate_web(CRAWLER_WEB_CONFIG)
+    web = build_web(CRAWLER_WEB_SPEC)
 
-    def run():
-        incremental = IncrementalCrawler(
-            web,
-            IncrementalCrawlerConfig(
-                collection_capacity=CAPACITY,
-                crawl_budget_per_day=AVERAGE_BUDGET,
-                revisit_policy="optimal",
-                estimator="ep",
-                ranking_interval_days=5.0,
-                measurement_interval_days=1.0,
-                track_quality=True,
-            ),
-        )
-        periodic = PeriodicCrawler(
-            web,
-            PeriodicCrawlerConfig(
-                collection_capacity=CAPACITY,
-                # The batch crawler compresses the same work into a shorter
-                # window, so its peak speed is higher (the paper's point).
-                crawl_budget_per_day=AVERAGE_BUDGET * 4.0,
-                cycle_days=CYCLE_DAYS,
-                measurement_interval_days=1.0,
-                track_quality=True,
-            ),
-        )
-        incremental_result = incremental.run(DURATION_DAYS)
-        periodic_result = periodic.run(DURATION_DAYS)
-        return incremental_result, periodic_result
+    def run_specs():
+        incremental = run(INCREMENTAL_SPEC, web=web)
+        periodic = run(PERIODIC_SPEC, web=web)
+        return incremental, periodic
 
-    incremental_result, periodic_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    incremental, periodic = benchmark.pedantic(run_specs, rounds=1, iterations=1)
 
-    inc_steady = incremental_result.freshness.after(CYCLE_DAYS)
-    per_steady = periodic_result.freshness.after(CYCLE_DAYS)
+    inc_steady = incremental.artifacts["outcome"].freshness.after(CYCLE_DAYS)
+    per_steady = periodic.artifacts["outcome"].freshness.after(CYCLE_DAYS)
     rows = [
         ("mean freshness (after warm-up)",
          f"{inc_steady.mean_freshness():.3f}", f"{per_steady.mean_freshness():.3f}"),
         ("final collection quality",
-         f"{incremental_result.final_quality():.3f}",
-         f"{periodic_result.final_quality():.3f}"),
-        ("pages fetched", incremental_result.pages_crawled, periodic_result.pages_crawled),
+         f"{incremental.summary['final_quality']:.3f}",
+         f"{periodic.summary['final_quality']:.3f}"),
+        ("pages fetched", incremental.summary["pages_crawled"],
+         periodic.summary["pages_crawled"]),
         ("peak crawl speed (pages/day)", f"{AVERAGE_BUDGET:.0f}",
          f"{AVERAGE_BUDGET * 4.0:.0f}"),
     ]
@@ -96,7 +105,7 @@ def test_incremental_vs_periodic_crawler(benchmark):
     ))
 
     assert inc_steady.mean_freshness() > per_steady.mean_freshness()
-    assert incremental_result.final_quality() > 0.3
+    assert incremental.summary["final_quality"] > 0.3
 
 
 def test_update_vs_refinement_separation(benchmark):
@@ -107,31 +116,32 @@ def test_update_vs_refinement_separation(benchmark):
     rarely (the architecture's choice) versus recomputing importance after
     every fetch (the naive alternative the paper argues against).
     """
-    web = generate_web(CRAWLER_WEB_CONFIG)
+    web = build_web(CRAWLER_WEB_SPEC)
 
     def run_with(ranking_interval_days: float) -> float:
-        crawler = IncrementalCrawler(
-            web,
-            IncrementalCrawlerConfig(
+        result = run(ExperimentSpec(
+            name="bench/refinement-separation",
+            kind="crawl",
+            web=CRAWLER_WEB_SPEC,
+            crawler=CrawlerSpec(
+                kind="incremental",
                 collection_capacity=100,
                 crawl_budget_per_day=300.0,
-                revisit_policy="uniform",
+                duration_days=20.0,
                 ranking_interval_days=ranking_interval_days,
                 measurement_interval_days=5.0,
                 track_quality=False,
             ),
-        )
-        started = time.perf_counter()
-        result = crawler.run(20.0)
-        elapsed = time.perf_counter() - started
-        return result.pages_crawled / max(elapsed, 1e-9)
+            policy=PolicySpec(revisit_policy="uniform"),
+        ), web=web)
+        return result.summary["pages_crawled"] / max(result.wall_time_seconds, 1e-9)
 
-    def run():
+    def run_specs():
         separated = run_with(ranking_interval_days=5.0)
         inline = run_with(ranking_interval_days=1.0 / 300.0)
         return separated, inline
 
-    separated, inline = benchmark.pedantic(run, rounds=1, iterations=1)
+    separated, inline = benchmark.pedantic(run_specs, rounds=1, iterations=1)
     print()
     print(format_table(
         ["architecture", "scheduling throughput (fetches per wall-clock second)"],

@@ -10,61 +10,49 @@ all its crawling in the first week of the month. Paper values:
 plus the sensitivity example (pages change monthly, two-week batch crawl):
 in-place 0.63 vs shadowing 0.50.
 
-The benchmark reports both the closed-form values and a Monte-Carlo
-simulation of the same policies.
+Both experiments run through the declarative API: the ``"table2"`` and
+``"sensitivity"`` scenario registry entries report the closed-form values
+and (for Table 2) a Monte-Carlo simulation of the same policies via the
+vectorized kernels.
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.freshness.analytic import time_averaged_freshness
-from repro.simulation.crawler_sim import simulate_crawl_policy
-from repro.simulation.scenarios import (
-    PAPER_SENSITIVITY_FRESHNESS,
-    PAPER_TABLE2_FRESHNESS,
-    paper_table2_policies,
-    sensitivity_example_policies,
-    sensitivity_scenario_rate,
-    table2_scenario_rate,
-)
+from repro.api import ExperimentSpec, run
 
 
 def test_table2_policy_freshness(benchmark):
     """Table 2: freshness for steady/batch x in-place/shadowing."""
-    rate = table2_scenario_rate()
-    policies = paper_table2_policies()
+    spec = ExperimentSpec(name="bench/table2", kind="scenario", scenario="table2")
 
-    def run():
-        analytic = {
-            name: time_averaged_freshness(policy, rate)
-            for name, policy in policies.items()
-        }
-        simulated = {
-            name: simulate_crawl_policy([rate] * 500, policy, n_cycles=8, seed=21)
-            for name, policy in policies.items()
-        }
-        return analytic, simulated
+    def run_spec():
+        return run(spec)
 
-    analytic, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_spec, rounds=1, iterations=1)
+    paper = result.tables["paper"]
+    analytic = result.tables["analytic"]
+    simulated = result.tables["simulated"]
     rows = [
         (
             name,
-            f"{PAPER_TABLE2_FRESHNESS[name]:.2f}",
+            f"{paper[name]:.2f}",
             f"{analytic[name]:.3f}",
-            f"{simulated[name].mean_freshness:.3f}",
+            f"{simulated[name]:.3f}",
         )
-        for name in policies
+        for name in paper
     ]
     print()
     print(format_table(
         ["policy", "paper (Table 2)", "analytic", "simulated"], rows,
-        title="Table 2: expected freshness of the current collection",
+        title="Table 2: expected freshness of the current collection "
+              f"(spec {result.spec_hash[:12]})",
     ))
 
-    for name in policies:
+    for name in paper:
         assert analytic[name] == abs(analytic[name])
-        assert abs(analytic[name] - PAPER_TABLE2_FRESHNESS[name]) < 0.02
-        assert abs(simulated[name].mean_freshness - analytic[name]) < 0.04
+        assert abs(analytic[name] - paper[name]) < 0.02
+        assert abs(simulated[name] - analytic[name]) < 0.04
     # Orderings the paper draws conclusions from.
     assert analytic["steady / in-place"] == analytic["batch / in-place"]
     assert analytic["steady / shadowing"] < analytic["batch / shadowing"]
@@ -72,25 +60,24 @@ def test_table2_policy_freshness(benchmark):
 
 def test_table2_sensitivity_example(benchmark):
     """Section 4 sensitivity example: monthly changes, two-week batch crawl."""
-    rate = sensitivity_scenario_rate()
-    policies = sensitivity_example_policies()
+    spec = ExperimentSpec(
+        name="bench/sensitivity", kind="scenario", scenario="sensitivity"
+    )
 
-    def run():
-        return {
-            name: time_averaged_freshness(policy, rate)
-            for name, policy in policies.items()
-        }
+    def run_spec():
+        return run(spec)
 
-    analytic = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_spec, rounds=1, iterations=1)
+    paper = result.tables["paper"]
+    analytic = result.tables["analytic"]
     rows = [
-        (name, f"{PAPER_SENSITIVITY_FRESHNESS[name]:.2f}", f"{analytic[name]:.3f}")
-        for name in policies
+        (name, f"{paper[name]:.2f}", f"{analytic[name]:.3f}") for name in paper
     ]
     print()
     print(format_table(
         ["policy", "paper", "analytic"], rows,
         title="Section 4 sensitivity example (dynamic pages favour in-place updates)",
     ))
-    for name in policies:
-        assert abs(analytic[name] - PAPER_SENSITIVITY_FRESHNESS[name]) < 0.01
+    for name in paper:
+        assert abs(analytic[name] - paper[name]) < 0.01
     assert analytic["batch / in-place"] > analytic["batch / shadowing"]

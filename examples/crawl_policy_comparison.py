@@ -1,11 +1,15 @@
 """Compare crawl-policy design choices (Section 4, Table 2 and Figure 10).
 
-The script evaluates the four combinations of crawling mode (steady vs.
-batch) and update discipline (in-place vs. shadowing) with the paper's
-Table 2 parameters, then compares the three revisit-frequency policies
-(fixed, proportional, freshness-optimal) on a page population drawn from
-the calibrated domain mix, and finally runs the two crawler archetypes of
-Figure 10 end to end against the same synthetic web.
+The script runs three declarative experiments through :func:`repro.api.run`:
+
+* the ``"table2"`` scenario — the four combinations of crawling mode
+  (steady vs. batch) and update discipline (in-place vs. shadowing) with
+  the paper's Table 2 parameters;
+* the ``"revisit-policies"`` scenario — fixed, proportional and
+  freshness-optimal revisit frequencies on a page population drawn from the
+  calibrated domain mix;
+* two ``"crawl"`` experiments — the incremental and periodic crawler
+  archetypes of Figure 10, end to end against the same synthetic web.
 
 Run with:
 
@@ -14,63 +18,44 @@ Run with:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.report import format_table
-from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
-from repro.core.periodic_crawler import PeriodicCrawler, PeriodicCrawlerConfig
-from repro.freshness.analytic import time_averaged_freshness
-from repro.freshness.optimal_allocation import (
-    optimal_revisit_frequencies,
-    proportional_revisit_frequencies,
-    total_freshness,
-    uniform_revisit_frequencies,
-)
-from repro.simulation.scenarios import (
-    PAPER_TABLE2_FRESHNESS,
-    paper_table2_policies,
-    table2_scenario_rate,
-)
-from repro.simweb.domains import DOMAIN_PROFILES, RATE_CLASSES
-from repro.simweb.generator import WebGeneratorConfig, generate_web
+from repro.api import CrawlerSpec, ExperimentSpec, PolicySpec, WebSpec, run
+from repro.api.runner import build_web
 
 
 def compare_table2_policies() -> None:
     """Table 2: the four design-choice combinations."""
-    rate = table2_scenario_rate()
-    rows = []
-    for name, policy in paper_table2_policies().items():
-        rows.append(
-            (name, f"{PAPER_TABLE2_FRESHNESS[name]:.2f}",
-             f"{time_averaged_freshness(policy, rate):.3f}")
-        )
+    result = run(ExperimentSpec(
+        name="example/table2", kind="scenario", scenario="table2",
+        params={"simulate": False},
+    ))
+    paper, analytic = result.tables["paper"], result.tables["analytic"]
+    rows = [
+        (name, f"{paper[name]:.2f}", f"{analytic[name]:.3f}") for name in paper
+    ]
     print(format_table(["policy", "paper", "this reproduction"], rows,
                        title="Table 2: freshness of the current collection"))
 
 
 def compare_revisit_policies() -> None:
     """Section 4.3: fixed vs proportional vs optimal revisit frequencies."""
-    rng = np.random.default_rng(3)
-    rates = []
-    total_sites = sum(p.site_count for p in DOMAIN_PROFILES.values())
-    for profile in DOMAIN_PROFILES.values():
-        for _ in range(int(round(300 * profile.site_count / total_sites))):
-            index = rng.choice(len(RATE_CLASSES), p=np.asarray(profile.rate_mixture))
-            rates.append(RATE_CLASSES[index].rate_per_day)
-    budget = len(rates) / 15.0
-
-    allocations = {
-        "fixed frequency": uniform_revisit_frequencies(rates, budget),
-        "proportional to change rate": proportional_revisit_frequencies(rates, budget),
-        "freshness-optimal (variable)": optimal_revisit_frequencies(rates, budget),
+    result = run(ExperimentSpec(
+        name="example/revisit-policies", kind="scenario",
+        scenario="revisit-policies",
+        params={"n_pages": 300, "rates_seed": 3, "simulate": False},
+    ))
+    analytic = result.tables["analytic"]
+    labels = {
+        "uniform": "fixed frequency",
+        "proportional": "proportional to change rate",
+        "optimal": "freshness-optimal (variable)",
     }
-    baseline = total_freshness(rates, allocations["fixed frequency"])
-    rows = []
-    for name, freqs in allocations.items():
-        freshness = total_freshness(rates, freqs)
-        rows.append(
-            (name, f"{freshness:.3f}", f"{100 * (freshness - baseline) / baseline:+.1f}%")
-        )
+    baseline = analytic["uniform"]
+    rows = [
+        (labels[name], f"{freshness:.3f}",
+         f"{100 * (freshness - baseline) / baseline:+.1f}%")
+        for name, freshness in analytic.items()
+    ]
     print()
     print(format_table(
         ["revisit policy", "expected freshness", "vs fixed frequency"], rows,
@@ -81,42 +66,46 @@ def compare_revisit_policies() -> None:
 
 def compare_crawler_archetypes() -> None:
     """Figure 10: incremental vs periodic crawler on the same evolving web."""
-    web = generate_web(
-        WebGeneratorConfig(site_scale=0.05, pages_per_site=25, horizon_days=70.0, seed=23)
-    )
+    web_spec = WebSpec(site_scale=0.05, pages_per_site=25, horizon_days=70.0, seed=23)
+    web = build_web(web_spec)  # shared by both crawlers, generated once
     capacity, cycle = 150, 10.0
     average_budget = 4.0 * capacity / cycle
 
-    incremental = IncrementalCrawler(
-        web,
-        IncrementalCrawlerConfig(
+    incremental = run(ExperimentSpec(
+        name="example/incremental", kind="crawl", web=web_spec,
+        crawler=CrawlerSpec(
+            kind="incremental",
             collection_capacity=capacity,
             crawl_budget_per_day=average_budget,
-            revisit_policy="optimal",
+            duration_days=60.0,
             ranking_interval_days=5.0,
             measurement_interval_days=1.0,
             track_quality=True,
         ),
-    )
-    periodic = PeriodicCrawler(
-        web,
-        PeriodicCrawlerConfig(
+        policy=PolicySpec(revisit_policy="optimal"),
+    ), web=web)
+    periodic = run(ExperimentSpec(
+        name="example/periodic", kind="crawl", web=web_spec,
+        crawler=CrawlerSpec(
+            kind="periodic",
             collection_capacity=capacity,
             crawl_budget_per_day=average_budget * 4,
+            duration_days=60.0,
             cycle_days=cycle,
             measurement_interval_days=1.0,
             track_quality=True,
         ),
-    )
-    incremental_result = incremental.run(60.0)
-    periodic_result = periodic.run(60.0)
+    ), web=web)
+
+    inc_outcome = incremental.artifacts["outcome"]
+    per_outcome = periodic.artifacts["outcome"]
     rows = [
         ("mean freshness (after first cycle)",
-         f"{incremental_result.freshness.after(cycle).mean_freshness():.3f}",
-         f"{periodic_result.freshness.after(cycle).mean_freshness():.3f}"),
+         f"{inc_outcome.freshness.after(cycle).mean_freshness():.3f}",
+         f"{per_outcome.freshness.after(cycle).mean_freshness():.3f}"),
         ("final collection quality",
-         f"{incremental_result.final_quality():.3f}",
-         f"{periodic_result.final_quality():.3f}"),
+         f"{incremental.summary['final_quality']:.3f}",
+         f"{periodic.summary['final_quality']:.3f}"),
         ("peak crawl speed (pages/day)",
          f"{average_budget:.0f}", f"{average_budget * 4:.0f}"),
     ]

@@ -1,9 +1,11 @@
 """Estimating how often a page changes (Section 5.3, estimators EP and EB).
 
 The UpdateModule only observes one bit per visit — "did the checksum change
-since last time?" — and must infer the page's change rate from that. This
-example simulates daily visits to pages with known Poisson change rates and
-shows:
+since last time?" — and must infer the page's change rate from that. The
+estimators are pluggable: this example resolves both of them by their
+registered names (``"ep"`` and ``"eb"``, see
+:data:`repro.api.ESTIMATORS`) — exactly the way a crawler config or an
+experiment spec does — and shows:
 
 * how the naive estimate (changes detected / observation time) saturates for
   pages that change faster than the visit interval (Figure 1(a));
@@ -24,9 +26,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.report import format_table
-from repro.estimation.bayesian_estimator import BayesianClassEstimator
+from repro.api import ESTIMATORS
 from repro.estimation.change_history import ChangeHistory
-from repro.estimation.poisson_estimator import PoissonRateEstimator, naive_rate_estimate
+from repro.estimation.poisson_estimator import naive_rate_estimate
 
 
 def simulate_visits(rate: float, n_visits: int, visit_interval: float,
@@ -44,7 +46,7 @@ def simulate_visits(rate: float, n_visits: int, visit_interval: float,
 def demonstrate_ep() -> None:
     """Naive vs bias-corrected EP estimates across true change rates."""
     rng = np.random.default_rng(42)
-    estimator = PoissonRateEstimator()
+    estimator = ESTIMATORS.create("ep").estimator
     rows = []
     for true_rate in (0.05, 0.2, 0.5, 1.0, 3.0):
         history = simulate_visits(true_rate, n_visits=180, visit_interval=1.0, rng=rng)
@@ -69,9 +71,10 @@ def demonstrate_ep() -> None:
 
 def demonstrate_eb() -> None:
     """EB posterior evolution for a page that stops changing."""
-    estimator = BayesianClassEstimator()
+    # The registered "eb" strategy keeps one Bayesian estimator per page;
+    # ask it for the page we are about to monitor.
+    estimator = ESTIMATORS.create("eb").estimator_for("http://example.com/p1")
     print("\nEB: posterior over frequency classes for a page observed daily")
-    checkpoints = {0: "prior"}
     rng = np.random.default_rng(7)
     # The page changes roughly weekly for a month, then goes quiet.
     observations = []

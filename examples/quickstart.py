@@ -1,10 +1,13 @@
 """Quickstart: crawl an evolving synthetic web with the incremental crawler.
 
-This example builds a small synthetic web calibrated to the paper's
-measurements, runs the Section 5 incremental crawler against it for a month
-of virtual time, and prints the freshness and quality of the resulting
-collection, together with a few of the change-frequency estimates the
-UpdateModule learned along the way.
+This example declares the whole experiment — the synthetic web, the
+incremental crawler and its policy choices — as an
+:class:`~repro.api.specs.ExperimentSpec`, runs it through the unified
+:func:`repro.api.run` entry point, and prints the freshness and quality of
+the resulting collection, together with a few of the change-frequency
+estimates the UpdateModule learned along the way. The same spec serialized
+to JSON (``spec.to_json()``) can be run from the command line with
+``python -m repro run-spec``.
 
 Run with:
 
@@ -13,59 +16,65 @@ Run with:
 
 from __future__ import annotations
 
-from repro import IncrementalCrawler, IncrementalCrawlerConfig, WebGeneratorConfig, generate_web
 from repro.analysis.report import format_series, format_table
+from repro.api import CrawlerSpec, ExperimentSpec, PolicySpec, WebSpec, run
 
 
 def main() -> None:
-    # 1. Build a synthetic evolving web (the stand-in for the live web).
-    web = generate_web(
-        WebGeneratorConfig(
+    # 1. Declare the experiment: web, crawler and policy choices are data.
+    spec = ExperimentSpec(
+        name="quickstart/incremental-crawl",
+        kind="crawl",
+        web=WebSpec(
             site_scale=0.05,        # ~13 sites with the Table 1 domain mix
             pages_per_site=30,
             horizon_days=60.0,
             seed=7,
-        )
-    )
-    print(f"synthetic web: {web.n_sites} sites, {web.n_pages} pages, "
-          f"mean change rate {web.mean_change_rate():.2f} changes/day")
-
-    # 2. Configure and run the incremental crawler.
-    crawler = IncrementalCrawler(
-        web,
-        IncrementalCrawlerConfig(
+        ),
+        crawler=CrawlerSpec(
+            kind="incremental",
             collection_capacity=200,
             crawl_budget_per_day=500.0,
-            revisit_policy="optimal",   # the Figure 9 allocation
-            estimator="ep",             # Poisson change-rate estimator
+            duration_days=45.0,
             ranking_interval_days=3.0,  # PageRank refinement scan cadence
             measurement_interval_days=1.0,
         ),
+        policy=PolicySpec(
+            revisit_policy="optimal",   # the Figure 9 allocation
+            estimator="ep",             # Poisson change-rate estimator
+        ),
     )
-    result = crawler.run(duration_days=45.0)
+
+    # 2. Run it through the unified runner.
+    result = run(spec)
+    web = result.artifacts["web"]
+    crawler = result.artifacts["crawler"]
+    print(f"synthetic web: {web.n_sites} sites, {web.n_pages} pages, "
+          f"mean change rate {web.mean_change_rate():.2f} changes/day")
+    print(f"spec hash: {result.spec_hash[:12]}  seed: {result.seed}")
 
     # 3. Report what happened.
+    outcome = result.artifacts["outcome"]
     print()
     print(format_table(
         ["metric", "value"],
         [
-            ("pages fetched", result.pages_crawled),
-            ("changes detected", result.changes_detected),
-            ("pages replaced by the RankingModule", result.pages_replaced),
-            ("collection size", len(crawler.collection.current_records())),
-            ("mean freshness", f"{result.mean_freshness():.3f}"),
+            ("pages fetched", result.summary["pages_crawled"]),
+            ("changes detected", result.summary["changes_detected"]),
+            ("pages replaced by the RankingModule", result.summary["pages_replaced"]),
+            ("collection size", result.summary["collection_size"]),
+            ("mean freshness", f"{result.summary['mean_freshness']:.3f}"),
             ("steady-state freshness (after day 15)",
-             f"{result.freshness.after(15.0).mean_freshness():.3f}"),
-            ("final collection quality", f"{result.final_quality():.3f}"),
+             f"{outcome.freshness.after(15.0).mean_freshness():.3f}"),
+            ("final collection quality", f"{result.summary['final_quality']:.3f}"),
         ],
         title="incremental crawl summary",
     ))
 
     print()
-    times, freshness = result.freshness.as_series()
-    print(format_series(list(times), list(freshness), x_label="day",
-                        y_label="freshness", title="collection freshness over time",
-                        max_points=15))
+    print(format_series(result.series["times"], result.series["freshness"],
+                        x_label="day", y_label="freshness",
+                        title="collection freshness over time", max_points=15))
 
     # 4. Peek at what the UpdateModule learned about individual pages.
     estimates = sorted(

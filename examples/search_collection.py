@@ -7,9 +7,10 @@ fetched pages are searchable immediately, while with shadowing the index is
 rebuilt from the shadow collection and swapped in at the end of each crawl
 cycle.
 
-This example crawls a synthetic web with the incremental crawler, builds an
-inverted index over the collection both ways, and compares what a user
-searching the index sees.
+This example declares an incremental crawl as an
+:class:`~repro.api.specs.ExperimentSpec`, runs it through
+:func:`repro.api.run`, builds an inverted index over the resulting
+collection both ways, and compares what a user searching the index sees.
 
 Run with:
 
@@ -18,27 +19,27 @@ Run with:
 
 from __future__ import annotations
 
-from repro import IncrementalCrawler, IncrementalCrawlerConfig, WebGeneratorConfig, generate_web
 from repro.analysis.report import format_table
+from repro.api import CrawlerSpec, ExperimentSpec, PolicySpec, WebSpec, run
 from repro.storage.inverted_index import InvertedIndex
 
 
 def main() -> None:
-    web = generate_web(
-        WebGeneratorConfig(site_scale=0.04, pages_per_site=25, horizon_days=40.0, seed=31)
-    )
-    crawler = IncrementalCrawler(
-        web,
-        IncrementalCrawlerConfig(
+    result = run(ExperimentSpec(
+        name="example/search-collection",
+        kind="crawl",
+        web=WebSpec(site_scale=0.04, pages_per_site=25, horizon_days=40.0, seed=31),
+        crawler=CrawlerSpec(
+            kind="incremental",
             collection_capacity=150,
             crawl_budget_per_day=400.0,
-            revisit_policy="optimal",
+            duration_days=30.0,
             measurement_interval_days=2.0,
             track_quality=False,
         ),
-    )
-    crawler.run(duration_days=30.0)
-    records = crawler.collection.current_records()
+        policy=PolicySpec(revisit_policy="optimal"),
+    ))
+    records = result.artifacts["crawler"].collection.current_records()
     print(f"collection holds {len(records)} pages after 30 days of incremental crawling")
 
     # In-place style: the index is maintained incrementally as pages are

@@ -1,14 +1,12 @@
 """Reproduce the Sections 2-3 web-evolution experiment end to end.
 
-The script mirrors the paper's pipeline:
-
-1. generate a synthetic web and select "popular" sites by site-level
-   PageRank with webmaster consent (Table 1);
-2. monitor a window of pages from each selected site daily for four months
-   (Section 2.1);
-3. analyse how often pages change (Figure 2), how long they stay visible
-   (Figure 4), how fast the web as a whole changes (Figure 5), and whether
-   a Poisson model fits the observed change intervals (Figure 6).
+The whole pipeline — synthetic-web generation, "popular" site selection
+with webmaster consent (Table 1), four months of daily monitoring
+(Section 2.1), and the change-interval / lifespan / survival analyses — is
+declared as a single ``"monitor"`` :class:`~repro.api.specs.ExperimentSpec`
+and executed by :func:`repro.api.run`. The structured result carries the
+Figure 2/4/5 tables; the observation log rides along in the artifacts for
+the Section 3.4 Poisson-fit check.
 
 Run with:
 
@@ -18,55 +16,52 @@ Run with:
 from __future__ import annotations
 
 from repro.analysis.report import format_bar_chart, format_table
-from repro.experiment.change_interval import analyze_change_intervals
-from repro.experiment.lifespan_analysis import analyze_lifespans
-from repro.experiment.monitor import ActiveMonitor
+from repro.api import ExperimentSpec, WebSpec, run
 from repro.experiment.poisson_fit import fit_poisson_model
-from repro.experiment.site_selection import select_sites
-from repro.experiment.survival import analyze_survival
-from repro.simweb.generator import WebGeneratorConfig, generate_web
 
 
 def main() -> None:
     # --- Section 2: experimental setup ---------------------------------- #
-    web = generate_web(
-        WebGeneratorConfig(site_scale=0.08, pages_per_site=35, horizon_days=127.0, seed=11)
-    )
-    selection = select_sites(web, n_candidates=web.n_sites, consent_rate=270 / 400, seed=1)
+    result = run(ExperimentSpec(
+        name="example/web-evolution",
+        kind="monitor",
+        web=WebSpec(site_scale=0.08, pages_per_site=35, horizon_days=127.0, seed=11),
+        params={
+            "end_day": 126,
+            "consent_rate": 270 / 400,   # Table 1: 270 of 400 webmasters agreed
+            "selection_seed": 1,
+        },
+    ))
     print(format_table(
         ["domain", "monitored sites"],
-        sorted(selection.domain_counts.items()),
+        sorted(result.tables["monitored_sites_per_domain"].items()),
         title="Table 1: monitored sites per domain (synthetic web)",
     ))
-
-    monitor = ActiveMonitor(web, site_ids=selection.selected_site_ids)
-    log = monitor.run(start_day=0, end_day=126)
-    print(f"\nmonitored {log.n_pages} distinct pages over {log.duration_days} days")
+    print(f"\nmonitored {result.summary['n_pages']} distinct pages over "
+          f"{result.summary['duration_days']} days")
 
     # --- Section 3.1: how often does a page change? ---------------------- #
-    change = analyze_change_intervals(log)
     print()
-    print(format_bar_chart(change.overall_fractions(),
+    print(format_bar_chart(result.tables["change_interval_fractions"],
                            title="Figure 2(a): average change interval of pages"))
     print(f"crude overall mean change interval: "
-          f"{change.mean_interval_estimate_days:.0f} days (paper: ~4 months)")
+          f"{result.summary['mean_change_interval_days']:.0f} days (paper: ~4 months)")
 
     # --- Section 3.2: lifespan of pages ---------------------------------- #
-    lifespan = analyze_lifespans(log)
     print()
-    print(format_bar_chart(lifespan.method1_overall.labelled_fractions(),
+    print(format_bar_chart(result.tables["lifespan_fractions"],
                            title="Figure 4(a): visible lifespan (Method 1)"))
 
     # --- Section 3.3: how long until 50% of the web changes? ------------- #
-    survival = analyze_survival(log)
     print()
     rows = []
-    for domain, half_day in survival.half_change_days().items():
+    for domain, half_day in result.tables["half_change_days"].items():
         rows.append((domain, "not reached" if half_day is None else f"{half_day:.0f} days"))
     print(format_table(["domain", "days until 50% changed"], rows,
                        title="Figure 5: time for half of the pages to change"))
 
     # --- Section 3.4: Poisson model check -------------------------------- #
+    log = result.artifacts["log"]
     print()
     for target in (10.0, 20.0):
         fit = fit_poisson_model(log, target_interval_days=target)

@@ -27,6 +27,10 @@ contribution:
     Figure 12) plus the periodic-crawler baseline.
 ``repro.analysis``
     Histograms, statistics and report rendering shared by the benchmarks.
+``repro.api``
+    Declarative experiment layer: JSON-round-trippable specs, plugin
+    registries (revisit policies, estimators, change models, scenarios)
+    and the unified ``run(spec) -> ExperimentResult`` runner.
 """
 
 from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig

@@ -1,0 +1,105 @@
+"""``repro.api`` — the declarative experiment layer.
+
+The package turns experiments into *data*:
+
+* :mod:`repro.api.registry` — plugin registries for revisit policies,
+  change-rate estimators, page change models and canned scenarios
+  (``@register_revisit_policy`` and friends);
+* :mod:`repro.api.specs` — frozen, JSON-round-trippable spec dataclasses
+  (:class:`WebSpec`, :class:`PolicySpec`, :class:`CrawlerSpec`,
+  :class:`ExperimentSpec`) with validation and a stable content hash;
+* :mod:`repro.api.runner` — a single :func:`run` entry point returning a
+  structured, JSON-serializable :class:`ExperimentResult`, plus
+  :class:`ScenarioMatrix` for crossed parameter sweeps;
+* :mod:`repro.api.scenarios` — the paper's canned Section 4 / Figure 7/8/10
+  experiments as named registry entries.
+
+Only the registries are imported eagerly: domain modules self-register by
+importing their decorator from :mod:`repro.api.registry`, so the heavier
+spec/runner modules (which import those same domain modules) are loaded
+lazily to keep the dependency graph acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.api.registry import (
+    CHANGE_MODELS,
+    ESTIMATORS,
+    REVISIT_POLICIES,
+    SCENARIOS,
+    Registry,
+    UnknownEntryError,
+    register_change_model,
+    register_estimator,
+    register_revisit_policy,
+    register_scenario,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers only
+    from repro.api.runner import (
+        ExperimentResult,
+        MatrixResult,
+        ScenarioMatrix,
+        build_web,
+        run,
+        run_matrix,
+    )
+    from repro.api.specs import CrawlerSpec, ExperimentSpec, PolicySpec, WebSpec
+
+__all__ = [
+    "CHANGE_MODELS",
+    "ESTIMATORS",
+    "REVISIT_POLICIES",
+    "SCENARIOS",
+    "Registry",
+    "UnknownEntryError",
+    "register_change_model",
+    "register_estimator",
+    "register_revisit_policy",
+    "register_scenario",
+    "CrawlerSpec",
+    "ExperimentSpec",
+    "PolicySpec",
+    "WebSpec",
+    "ExperimentResult",
+    "MatrixResult",
+    "ScenarioMatrix",
+    "build_web",
+    "run",
+    "run_matrix",
+]
+
+#: Lazily-resolved exports: attribute name -> defining submodule.
+_LAZY_EXPORTS = {
+    "CrawlerSpec": "repro.api.specs",
+    "ExperimentSpec": "repro.api.specs",
+    "PolicySpec": "repro.api.specs",
+    "WebSpec": "repro.api.specs",
+    "ExperimentResult": "repro.api.runner",
+    "MatrixResult": "repro.api.runner",
+    "ScenarioMatrix": "repro.api.runner",
+    "build_web": "repro.api.runner",
+    "run": "repro.api.runner",
+    "run_matrix": "repro.api.runner",
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Load spec/runner exports on first access (PEP 562)."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    # Scenario registration happens on import, so the canned scenarios are
+    # always visible once any lazy export is touched.
+    importlib.import_module("repro.api.scenarios")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

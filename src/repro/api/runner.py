@@ -1,0 +1,493 @@
+"""The unified experiment runner: ``run(spec) -> ExperimentResult``.
+
+One entry point executes any :class:`~repro.api.specs.ExperimentSpec` —
+full crawler runs, canned scenarios and the Sections 2-3 monitoring
+experiment — and returns a structured, JSON-serializable
+:class:`ExperimentResult` carrying metric time series, summary scalars and
+provenance (seed, spec hash, wall time, package version). Heavy in-memory
+objects (the generated web, the crawler, the observation log) ride along in
+``result.artifacts`` for callers that want to dig deeper, and are excluded
+from serialization.
+
+:class:`ScenarioMatrix` executes crossed parameter sweeps over a base spec.
+The matrix runner generates each distinct synthetic web once (cells that
+share a web spec share the web) and collapses scenario cells along an axis
+the scenario declares batchable into a single call, so sweeps lean on the
+vectorized kernels instead of repeating their setup per cell.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import __version__
+from repro.api.registry import SCENARIOS
+from repro.api.specs import ExperimentSpec, PolicySpec, WebSpec
+from repro.api import scenarios as _scenarios  # noqa: F401  (registration side effect)
+from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
+from repro.core.periodic_crawler import PeriodicCrawler, PeriodicCrawlerConfig
+from repro.experiment.change_interval import analyze_change_intervals
+from repro.experiment.lifespan_analysis import analyze_lifespans
+from repro.experiment.monitor import ActiveMonitor
+from repro.experiment.site_selection import select_sites
+from repro.experiment.survival import analyze_survival
+from repro.simweb.generator import generate_web
+from repro.simweb.web import SimulatedWeb
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of :func:`run`.
+
+    Attributes:
+        name: The spec's experiment name.
+        kind: The spec's experiment kind.
+        spec_hash: Content hash of the spec that produced this result.
+        seed: Effective seed (``None`` when the experiment has no single
+            governing seed).
+        wall_time_seconds: Wall-clock execution time.
+        series: Metric time series, ``label -> list of floats``.
+        summary: Scalar metrics and counters.
+        tables: Nested mappings (e.g. per-policy freshness values).
+        artifacts: Heavy in-memory objects (web, crawler, observation log);
+            never serialized.
+    """
+
+    name: str
+    kind: str
+    spec_hash: str
+    seed: Optional[int]
+    wall_time_seconds: float
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    summary: Dict[str, Any] = field(default_factory=dict)
+    tables: Dict[str, Any] = field(default_factory=dict)
+    artifacts: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (artifacts excluded)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "provenance": {
+                "spec_hash": self.spec_hash,
+                "seed": self.seed,
+                "wall_time_seconds": self.wall_time_seconds,
+                "repro_version": __version__,
+            },
+            "summary": self.summary,
+            "tables": self.tables,
+            "series": self.series,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The result as JSON text."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+
+def build_web(spec: WebSpec, seed: Optional[int] = None) -> SimulatedWeb:
+    """Generate the synthetic web described by ``spec``."""
+    return generate_web(spec.to_generator_config(seed=seed))
+
+
+def run(spec: ExperimentSpec, web: Optional[SimulatedWeb] = None) -> ExperimentResult:
+    """Execute an experiment spec end to end.
+
+    Args:
+        spec: The experiment to run.
+        web: Optional pre-generated web to crawl/monitor instead of
+            generating one from ``spec.web`` (used by the matrix runner to
+            share webs across cells; ignored for scenario experiments).
+
+    Returns:
+        A structured :class:`ExperimentResult` with provenance.
+    """
+    started = time.perf_counter()
+    if spec.kind == "crawl":
+        series, summary, tables, artifacts = _run_crawl(spec, web)
+    elif spec.kind == "monitor":
+        series, summary, tables, artifacts = _run_monitor(spec, web)
+    elif spec.kind == "scenario":
+        series, summary, tables, artifacts = _run_scenario(spec)
+    else:  # pragma: no cover - ExperimentSpec already validates the kind
+        raise ValueError(f"unknown experiment kind {spec.kind!r}")
+    return ExperimentResult(
+        name=spec.name,
+        kind=spec.kind,
+        spec_hash=spec.spec_hash(),
+        seed=spec.effective_seed(),
+        wall_time_seconds=time.perf_counter() - started,
+        series=series,
+        summary=summary,
+        tables=tables,
+        artifacts=artifacts,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Experiment kinds
+# --------------------------------------------------------------------- #
+_RunPayload = Tuple[Dict[str, List[float]], Dict[str, Any], Dict[str, Any], Dict[str, Any]]
+
+
+def _run_crawl(spec: ExperimentSpec, web: Optional[SimulatedWeb]) -> _RunPayload:
+    assert spec.web is not None and spec.crawler is not None
+    if web is None:
+        web = build_web(spec.web, seed=spec.seed)
+    crawler_spec = spec.crawler
+    policy = spec.policy if spec.policy is not None else PolicySpec()
+    if crawler_spec.kind == "incremental":
+        crawler = IncrementalCrawler(
+            web,
+            IncrementalCrawlerConfig(
+                collection_capacity=crawler_spec.collection_capacity,
+                crawl_budget_per_day=crawler_spec.crawl_budget_per_day,
+                revisit_policy=policy.revisit_policy,
+                estimator=policy.estimator,
+                importance_metric=policy.importance_metric,
+                ranking_interval_days=crawler_spec.ranking_interval_days,
+                reallocation_interval_days=crawler_spec.reallocation_interval_days,
+                use_importance_in_scheduling=policy.use_importance,
+                measurement_interval_days=crawler_spec.measurement_interval_days,
+                default_revisit_interval_days=crawler_spec.default_revisit_interval_days,
+                track_quality=crawler_spec.track_quality,
+                use_politeness=crawler_spec.use_politeness,
+            ),
+        )
+    else:
+        crawler = PeriodicCrawler(
+            web,
+            PeriodicCrawlerConfig(
+                collection_capacity=crawler_spec.collection_capacity,
+                crawl_budget_per_day=crawler_spec.crawl_budget_per_day,
+                cycle_days=crawler_spec.cycle_days,
+                measurement_interval_days=crawler_spec.measurement_interval_days,
+                track_quality=crawler_spec.track_quality,
+            ),
+        )
+    outcome = crawler.run(crawler_spec.duration_days, start_time=crawler_spec.start_time)
+
+    times, freshness = outcome.freshness.as_series()
+    series = {
+        "times": [float(t) for t in times],
+        "freshness": [float(f) for f in freshness],
+    }
+    if outcome.quality:
+        series["quality_times"] = [float(t) for t in outcome.quality_times]
+        series["quality"] = [float(q) for q in outcome.quality]
+    summary: Dict[str, Any] = {
+        "mode": crawler_spec.kind,
+        "pages_crawled": outcome.pages_crawled,
+        "collection_size": len(crawler.collection.current_records()),
+        "mean_freshness": outcome.mean_freshness(),
+        "final_quality": outcome.final_quality(),
+        "duration_days": outcome.duration_days,
+    }
+    if crawler_spec.kind == "incremental":
+        summary["pages_failed"] = outcome.pages_failed
+        summary["changes_detected"] = outcome.changes_detected
+        summary["pages_replaced"] = outcome.pages_replaced
+    else:
+        summary["cycles_completed"] = outcome.cycles_completed
+    artifacts = {"web": web, "crawler": crawler, "outcome": outcome}
+    return series, summary, {}, artifacts
+
+
+def _run_monitor(spec: ExperimentSpec, web: Optional[SimulatedWeb]) -> _RunPayload:
+    assert spec.web is not None
+    if web is None:
+        web = build_web(spec.web, seed=spec.seed)
+    params = dict(spec.params)
+    start_day = int(params.pop("start_day", 0))
+    end_day = params.pop("end_day", None)
+    end_day = int(web.horizon_days) - 1 if end_day is None else int(end_day)
+    selection_params = {
+        key: params.pop(key)
+        for key in ("n_candidates", "consent_rate", "selection_seed")
+        if key in params
+    }
+    selection = None
+    site_ids = None
+    if selection_params:
+        selection = select_sites(
+            web,
+            n_candidates=int(selection_params.get("n_candidates", web.n_sites)),
+            consent_rate=float(selection_params.get("consent_rate", 1.0)),
+            seed=int(selection_params.get("selection_seed", 0)),
+        )
+        site_ids = selection.selected_site_ids
+    if params:
+        raise ValueError(
+            f"unknown monitor parameter(s) {sorted(params)}; valid: "
+            "start_day, end_day, n_candidates, consent_rate, selection_seed"
+        )
+
+    log = ActiveMonitor(web, site_ids=site_ids).run(start_day=start_day, end_day=end_day)
+    change = analyze_change_intervals(log)
+    lifespan = analyze_lifespans(log)
+    survival = analyze_survival(log)
+
+    summary = {
+        "n_pages": log.n_pages,
+        "duration_days": log.duration_days,
+        "mean_change_interval_days": change.mean_interval_estimate_days,
+    }
+    tables = {
+        "change_interval_fractions": dict(change.overall_fractions()),
+        "lifespan_fractions": dict(lifespan.method1_overall.labelled_fractions()),
+        "half_change_days": dict(survival.half_change_days()),
+        "monitored_sites_per_domain": (
+            dict(selection.domain_counts) if selection is not None else None
+        ),
+    }
+    artifacts = {
+        "web": web,
+        "log": log,
+        "selection": selection,
+        "change": change,
+        "lifespan": lifespan,
+        "survival": survival,
+    }
+    return {}, summary, tables, artifacts
+
+
+def _run_scenario(spec: ExperimentSpec) -> _RunPayload:
+    assert spec.scenario is not None
+    function = SCENARIOS.get(spec.scenario)
+    kwargs = _scenario_kwargs(spec, function)
+    try:
+        payload = function(**kwargs)
+    except TypeError as error:
+        raise ValueError(
+            f"scenario {spec.scenario!r} rejected parameters {sorted(kwargs)}: {error}"
+        ) from error
+    return _split_payload(spec.scenario, payload)
+
+
+def _split_payload(scenario: str, payload: Any) -> _RunPayload:
+    if not isinstance(payload, Mapping):
+        raise TypeError(
+            f"scenario {scenario!r} must return a mapping with optional "
+            f"'series'/'summary'/'tables' keys, got {type(payload).__name__}"
+        )
+    return (
+        dict(payload.get("series", {})),
+        dict(payload.get("summary", {})),
+        dict(payload.get("tables", {})),
+        {},
+    )
+
+
+# --------------------------------------------------------------------- #
+# Crossed parameter sweeps
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """A crossed parameter sweep over a base experiment spec.
+
+    Axes are ``dotted.path -> values`` overrides applied to copies of
+    ``base``: the first path segment names a spec field (``params``,
+    ``crawler``, ``web``, ``policy``, ``seed``, ...), the optional second
+    segment a field inside that nested spec or params mapping. The matrix
+    expands to the full cross product, one cell per combination.
+
+    Example::
+
+        ScenarioMatrix(
+            base=ExperimentSpec(name="sweep", kind="scenario",
+                                scenario="revisit-policies"),
+            axes={"params.policy": ["uniform", "proportional", "optimal"]},
+        )
+    """
+
+    base: ExperimentSpec
+    axes: Mapping[str, Sequence[Any]]
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("a ScenarioMatrix needs at least one axis")
+        for path, values in self.axes.items():
+            if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+                raise ValueError(f"axis {path!r} must map to a sequence of values")
+            if len(values) == 0:
+                raise ValueError(f"axis {path!r} has no values")
+            self._apply(self.base, path, values[0])  # validate the path
+
+    def cells(self) -> List[Tuple[Dict[str, Any], ExperimentSpec]]:
+        """Expand the cross product into ``(axis assignment, spec)`` cells."""
+        paths = list(self.axes)
+        out: List[Tuple[Dict[str, Any], ExperimentSpec]] = []
+        for combination in itertools.product(*(self.axes[path] for path in paths)):
+            assignment = dict(zip(paths, combination))
+            spec = self.base
+            for path, value in assignment.items():
+                spec = self._apply(spec, path, value)
+            label = ", ".join(f"{path}={value}" for path, value in assignment.items())
+            spec = spec.replace(name=f"{self.base.name}[{label}]")
+            out.append((assignment, spec))
+        return out
+
+    @staticmethod
+    def _apply(spec: ExperimentSpec, path: str, value: Any) -> ExperimentSpec:
+        head, _, rest = path.partition(".")
+        if head == "params":
+            if not rest:
+                raise ValueError("axis 'params' needs a key, e.g. 'params.rate'")
+            params = dict(spec.params)
+            params[rest] = value
+            return spec.replace(params=params)
+        if head in ("web", "crawler", "policy"):
+            nested = getattr(spec, head)
+            if nested is None:
+                raise ValueError(f"axis {path!r} targets {head!r} but the base "
+                                 f"spec has no {head} spec")
+            if not rest:
+                raise ValueError(f"axis {head!r} needs a field, e.g. '{head}.seed'")
+            return spec.replace(**{head: nested.replace(**{rest: value})})
+        if rest:
+            raise ValueError(f"unknown axis path {path!r}")
+        return spec.replace(**{head: value})
+
+
+@dataclass
+class MatrixResult:
+    """All cell results of a :func:`run_matrix` sweep."""
+
+    name: str
+    cells: List[ExperimentResult]
+    wall_time_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view of every cell."""
+        return {
+            "name": self.name,
+            "wall_time_seconds": self.wall_time_seconds,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The matrix result as JSON text."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+
+def run_matrix(matrix: ScenarioMatrix) -> MatrixResult:
+    """Execute every cell of the matrix, batching where possible.
+
+    Two batching layers keep sweeps cheap:
+
+    * cells whose web spec and effective seed coincide share one generated
+      :class:`SimulatedWeb` (web generation dominates small crawl runs);
+    * scenario cells that differ only along an axis the scenario declares
+      via ``batch_param`` are collapsed into a single scenario call that
+      receives the whole value list and returns per-cell payloads.
+    """
+    started = time.perf_counter()
+    cells = matrix.cells()
+    results: Dict[int, ExperimentResult] = {}
+
+    # Batched scenario axes.
+    remaining: List[Tuple[int, Dict[str, Any], ExperimentSpec]] = []
+    for index, (assignment, spec) in enumerate(cells):
+        remaining.append((index, assignment, spec))
+    batch_axis = _single_batchable_axis(matrix)
+    if batch_axis is not None:
+        path, values = batch_axis
+        key = path.partition(".")[2]
+        merged_params = dict(matrix.base.params)
+        merged_params[key] = list(values)
+        merged = matrix.base.replace(params=merged_params)
+        function = SCENARIOS.get(merged.scenario)
+        try:
+            payload = function(**_scenario_kwargs(merged, function))
+        except TypeError as error:
+            raise ValueError(
+                f"scenario {merged.scenario!r} rejected batched parameters "
+                f"{sorted(merged.params)}: {error}"
+            ) from error
+        per_cell = payload.get("cells") if isinstance(payload, Mapping) else None
+        if per_cell is None or len(per_cell) != len(values):
+            # Failing loud beats silently re-running the expensive merged
+            # evaluation once per cell.
+            raise ValueError(
+                f"scenario {merged.scenario!r} declares batch_param "
+                f"{key!r} but returned "
+                f"{'no' if per_cell is None else len(per_cell)} 'cells' for "
+                f"{len(values)} values"
+            )
+        for (index, assignment, spec), cell_payload in zip(remaining, per_cell):
+            series, summary, tables, artifacts = _split_payload(
+                spec.scenario, cell_payload
+            )
+            results[index] = ExperimentResult(
+                name=spec.name,
+                kind=spec.kind,
+                spec_hash=spec.spec_hash(),
+                seed=spec.effective_seed(),
+                wall_time_seconds=0.0,
+                series=series,
+                summary=summary,
+                tables=tables,
+                artifacts=artifacts,
+            )
+        remaining = []
+
+    # Everything else: run per cell with a shared-web cache.
+    web_cache: Dict[str, SimulatedWeb] = {}
+    for index, assignment, spec in remaining:
+        web = None
+        if spec.kind in ("crawl", "monitor") and spec.web is not None:
+            cache_key = spec.web.spec_hash() + f"/{spec.effective_seed()}"
+            web = web_cache.get(cache_key)
+            if web is None:
+                web = build_web(spec.web, seed=spec.seed)
+                web_cache[cache_key] = web
+        results[index] = run(spec, web=web)
+
+    ordered = [results[index] for index in range(len(cells))]
+    return MatrixResult(
+        name=matrix.base.name,
+        cells=ordered,
+        wall_time_seconds=time.perf_counter() - started,
+    )
+
+
+def _single_batchable_axis(
+    matrix: ScenarioMatrix,
+) -> Optional[Tuple[str, Sequence[Any]]]:
+    """The matrix's sole axis if the scenario declares it batchable."""
+    if matrix.base.kind != "scenario" or len(matrix.axes) != 1:
+        return None
+    (path, values), = matrix.axes.items()
+    head, _, rest = path.partition(".")
+    if head != "params" or not rest:
+        return None
+    function = SCENARIOS.get(matrix.base.scenario)
+    if getattr(function, "batch_param", None) != rest:
+        return None
+    return path, values
+
+
+def _scenario_kwargs(spec: ExperimentSpec, function: Any) -> Dict[str, Any]:
+    """The scenario call's kwargs: explicit params, plus the run-level seed
+    when the scenario actually accepts a ``seed`` parameter."""
+    kwargs = dict(spec.params)
+    if spec.seed is not None and _accepts_parameter(function, "seed"):
+        kwargs.setdefault("seed", spec.seed)
+    return kwargs
+
+
+def _accepts_parameter(function: Any, name: str) -> bool:
+    try:
+        signature = inspect.signature(function)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return True
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in signature.parameters.values()
+    ):
+        return True
+    return name in signature.parameters

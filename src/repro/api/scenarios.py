@@ -1,0 +1,282 @@
+"""The paper's canned experiments as named scenario registry entries.
+
+Each scenario is a plain function registered in
+:data:`repro.api.registry.SCENARIOS`. Scenarios take keyword parameters
+(everything has a default matching the corresponding benchmark, so a bare
+``{"kind": "scenario", "scenario": "table2"}`` spec reproduces the
+benchmark's numbers exactly) and return a JSON-serializable payload
+
+``{"series": {...}, "summary": {...}, "tables": {...}}``
+
+that :func:`repro.api.runner.run` wraps into an
+:class:`~repro.api.runner.ExperimentResult`. All Monte-Carlo work routes
+through the vectorized kernels of :mod:`repro.simulation.crawler_sim` and
+:mod:`repro.freshness.optimal_allocation`.
+
+Scenarios that can evaluate a whole axis of a
+:class:`~repro.api.runner.ScenarioMatrix` in one call declare the axis
+parameter via ``batch_param``; the matrix runner then collapses those cells
+into a single invocation (one calibrated-rate draw, one allocation solve per
+policy) instead of re-running the scenario per cell.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.api.registry import REVISIT_POLICIES, register_scenario
+from repro.freshness.analytic import freshness_trajectory, time_averaged_freshness
+from repro.freshness.analytic import (
+    batch_inplace_freshness_at,
+    batch_shadow_freshness_at,
+    steady_inplace_freshness_at,
+    steady_shadow_freshness_at,
+)
+from repro.freshness.optimal_allocation import total_freshness
+from repro.simulation.crawler_sim import simulate_crawl_policy, simulate_revisit_allocation
+from repro.simulation.scenarios import (
+    PAPER_SENSITIVITY_FRESHNESS,
+    PAPER_TABLE2_FRESHNESS,
+    figure7_change_rate,
+    figure7_policies,
+    figure8_policies,
+    paper_table2_policies,
+    sensitivity_example_policies,
+    sensitivity_scenario_rate,
+    table2_scenario_rate,
+)
+from repro.simweb.domains import sample_calibrated_rates
+
+
+def batchable(param: str) -> Callable:
+    """Mark a scenario as able to evaluate a list of ``param`` in one call."""
+
+    def _mark(function: Callable) -> Callable:
+        function.batch_param = param
+        return function
+
+    return _mark
+
+
+# --------------------------------------------------------------------- #
+# Table 2 and the Section 4 sensitivity example
+# --------------------------------------------------------------------- #
+@register_scenario("table2")
+def table2(n_pages: int = 500, n_cycles: int = 8, seed: int = 21,
+           simulate: bool = True) -> Dict[str, Any]:
+    """Table 2: freshness of the four design-choice combinations.
+
+    All pages change with a four-month mean interval; every page is
+    revisited once per monthly cycle; the batch crawler works in the first
+    week of the cycle. Analytic values come from the closed forms, measured
+    values from the vectorized Monte-Carlo simulator.
+    """
+    rate = table2_scenario_rate()
+    policies = paper_table2_policies()
+    analytic = {
+        name: time_averaged_freshness(policy, rate) for name, policy in policies.items()
+    }
+    simulated: Dict[str, float] = {}
+    if simulate:
+        simulated = {
+            name: simulate_crawl_policy(
+                [rate] * n_pages, policy, n_cycles=n_cycles, seed=seed
+            ).mean_freshness
+            for name, policy in policies.items()
+        }
+    return {
+        "summary": {"scenario_rate_per_day": rate, "n_pages": n_pages},
+        "tables": {
+            "paper": dict(PAPER_TABLE2_FRESHNESS),
+            "analytic": analytic,
+            "simulated": simulated,
+        },
+    }
+
+
+@register_scenario("sensitivity")
+def sensitivity() -> Dict[str, Any]:
+    """Section 4 sensitivity example: monthly changes, two-week batch crawl."""
+    rate = sensitivity_scenario_rate()
+    analytic = {
+        name: time_averaged_freshness(policy, rate)
+        for name, policy in sensitivity_example_policies().items()
+    }
+    return {
+        "summary": {"scenario_rate_per_day": rate},
+        "tables": {
+            "paper": dict(PAPER_SENSITIVITY_FRESHNESS),
+            "analytic": analytic,
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figures 7 and 8: freshness evolution
+# --------------------------------------------------------------------- #
+@register_scenario("figure7")
+def figure7(rate: Optional[float] = None, duration_days: float = 90.0,
+            n_points: int = 90, n_pages: int = 300, n_cycles: int = 6,
+            seed: int = 7) -> Dict[str, Any]:
+    """Figure 7: batch-mode saw-tooth vs. steady stability, in-place updates.
+
+    Returns the analytic trajectories as series (``"<name>/times"`` /
+    ``"<name>/freshness"``) plus analytic and simulated time averages.
+    """
+    rate = figure7_change_rate() if rate is None else rate
+    policies = figure7_policies()
+    series: Dict[str, List[float]] = {}
+    analytic_mean: Dict[str, float] = {}
+    simulated_mean: Dict[str, float] = {}
+    for name, policy in policies.items():
+        times, values = freshness_trajectory(
+            policy, rate, duration_days=duration_days, n_points=n_points
+        )
+        series[f"{name}/times"] = list(times)
+        series[f"{name}/freshness"] = list(values)
+        analytic_mean[name] = time_averaged_freshness(policy, rate)
+        simulated_mean[name] = simulate_crawl_policy(
+            [rate] * n_pages, policy, n_cycles=n_cycles, seed=seed
+        ).mean_freshness
+    return {
+        "series": series,
+        "summary": {"rate_per_day": rate},
+        "tables": {"analytic_mean": analytic_mean, "simulated_mean": simulated_mean},
+    }
+
+
+@register_scenario("figure8")
+def figure8(variant: str = "steady", rate: Optional[float] = None,
+            n_points: Optional[int] = None) -> Dict[str, Any]:
+    """Figure 8: shadowing vs. in-place freshness trajectories.
+
+    Args:
+        variant: ``"steady"`` (Figure 8(a): crawler's and current collection
+            over two cycles, plus the in-place curve) or ``"batch"``
+            (Figure 8(b): shadowed vs. in-place current collection over one
+            cycle).
+        rate: Page change rate; defaults to the illustrative Figure 7 rate.
+        n_points: Trajectory points; defaults match the benchmarks
+            (401 for steady, 301 for batch).
+    """
+    if variant not in ("steady", "batch"):
+        raise ValueError('variant must be "steady" or "batch"')
+    rate = figure7_change_rate() if rate is None else rate
+    policy = figure8_policies()[
+        "steady with shadowing" if variant == "steady" else "batch-mode with shadowing"
+    ]
+    cycle = policy.cycle_days
+    series: Dict[str, List[float]] = {}
+    if variant == "steady":
+        n_points = 401 if n_points is None else n_points
+        times = [2.0 * cycle * i / (n_points - 1) for i in range(n_points)]
+        series["times"] = times
+        series["crawler"] = [
+            steady_shadow_freshness_at(t, rate, cycle, "crawler") for t in times
+        ]
+        series["current"] = [
+            steady_shadow_freshness_at(t, rate, cycle, "current") for t in times
+        ]
+        series["in_place"] = [
+            steady_inplace_freshness_at(t, rate, cycle) for t in times
+        ]
+    else:
+        batch = policy.batch_duration_days
+        n_points = 301 if n_points is None else n_points
+        times = [cycle * i / (n_points - 1) for i in range(n_points)]
+        series["times"] = times
+        series["current"] = [
+            batch_shadow_freshness_at(t, rate, cycle, batch, "current") for t in times
+        ]
+        series["in_place"] = [
+            batch_inplace_freshness_at(t, rate, cycle, batch) for t in times
+        ]
+    gap = [i - c for i, c in zip(series["in_place"], series["current"])]
+    return {
+        "series": series,
+        "summary": {
+            "variant": variant,
+            "rate_per_day": rate,
+            "cycle_days": cycle,
+            "min_inplace_advantage": min(gap),
+            "max_inplace_advantage": max(gap),
+        },
+        "tables": {},
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 10 / Section 4.3: revisit-frequency policies
+# --------------------------------------------------------------------- #
+@register_scenario("revisit-policies")
+@batchable("policy")
+def revisit_policies(
+    policy: Union[str, Sequence[str]] = ("uniform", "proportional", "optimal"),
+    n_pages: int = 400,
+    rates_seed: int = 5,
+    budget_days_per_page: float = 15.0,
+    duration_days: float = 240.0,
+    n_samples: int = 200,
+    sim_seed: int = 9,
+    simulate: bool = True,
+) -> Dict[str, Any]:
+    """Section 4.3 / Figure 10: fixed vs. proportional vs. optimal revisits.
+
+    One calibrated-rate population is drawn and shared by every requested
+    policy; each policy's allocation is solved by the corresponding
+    vectorized kernel and evaluated both analytically
+    (:func:`total_freshness`) and with the Monte-Carlo allocation simulator.
+
+    Args:
+        policy: One registered policy name or a list of them; the whole list
+            is evaluated in this single call (this is the scenario's
+            :class:`~repro.api.runner.ScenarioMatrix` batch axis).
+        n_pages: Population size drawn from the calibrated domain mix.
+        rates_seed: Seed of the rate-population draw.
+        budget_days_per_page: The crawl budget expressed as "each page can
+            be visited once every this many days on average".
+        duration_days: Monte-Carlo measurement window.
+        n_samples: Monte-Carlo freshness samples.
+        sim_seed: Monte-Carlo seed.
+        simulate: Skip the Monte-Carlo pass when False.
+    """
+    names = [policy] if isinstance(policy, str) else list(policy)
+    policies = {name: REVISIT_POLICIES.create(name) for name in names}
+    rates = sample_calibrated_rates(n_pages, seed=rates_seed)
+    rate_map = {f"page{index:05d}": rate for index, rate in enumerate(rates)}
+    budget = len(rates) / budget_days_per_page
+    analytic: Dict[str, float] = {}
+    simulated: Dict[str, float] = {}
+    for name, policy_impl in policies.items():
+        frequency_map = policy_impl.frequencies(rate_map, budget)
+        frequencies = [frequency_map[url] for url in rate_map]
+        analytic[name] = total_freshness(rates, frequencies)
+        if simulate:
+            # Raw reciprocal intervals (no MAX_REVISIT_INTERVAL_DAYS cap):
+            # a zero-frequency page is genuinely never revisited here.
+            intervals = [1.0 / f if f > 0 else float("inf") for f in frequencies]
+            simulated[name] = simulate_revisit_allocation(
+                rates, intervals, duration_days=duration_days,
+                n_samples=n_samples, seed=sim_seed,
+            ).mean_freshness
+    payload: Dict[str, Any] = {
+        "summary": {
+            "n_pages": len(rates),
+            "budget_per_day": budget,
+            "policies": names,
+        },
+        "tables": {"analytic": analytic, "simulated": simulated},
+    }
+    # Per-policy cell payloads so a batched matrix call can be split back
+    # into one ExperimentResult per cell.
+    payload["cells"] = [
+        {
+            "summary": {"policy": name, "n_pages": len(rates), "budget_per_day": budget},
+            "tables": {
+                "analytic": {name: analytic[name]},
+                "simulated": {name: simulated[name]} if name in simulated else {},
+            },
+        }
+        for name in names
+    ]
+    return payload

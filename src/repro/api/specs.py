@@ -1,0 +1,328 @@
+"""Frozen, JSON-round-trippable experiment specifications.
+
+A spec describes *what* to run — the synthetic web, the crawler and its
+policy choices, or a canned scenario — as plain data. Specs validate their
+registry-resolved names on construction (unknown names raise an error that
+lists the registered choices), serialize losslessly through
+``to_dict``/``from_dict`` (and JSON), and carry a stable content hash so a
+result can always be traced back to the exact experiment definition that
+produced it.
+
+Three experiment kinds are supported by :func:`repro.api.runner.run`:
+
+``"crawl"``
+    The full Section 5 architecture: generate the web described by
+    :class:`WebSpec`, run the crawler described by :class:`CrawlerSpec`
+    (incremental or periodic) with the choices in :class:`PolicySpec`.
+``"scenario"``
+    A named entry of :data:`repro.api.registry.SCENARIOS` — the paper's
+    canned Section 4 / Figure 7/8/10 experiments, routed through the
+    vectorized simulation kernels.
+``"monitor"``
+    The Sections 2-3 web-evolution experiment: daily monitoring of a
+    synthetic web plus the Figure 2/4/5 analyses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
+
+from repro.api.registry import ESTIMATORS, REVISIT_POLICIES
+from repro.simweb.generator import WebGeneratorConfig
+
+SpecT = TypeVar("SpecT", bound="_SpecBase")
+
+#: Experiment kinds understood by :func:`repro.api.runner.run`.
+EXPERIMENT_KINDS: Tuple[str, ...] = ("crawl", "scenario", "monitor")
+#: Crawler architectures a :class:`CrawlerSpec` can name.
+CRAWLER_KINDS: Tuple[str, ...] = ("incremental", "periodic")
+#: Importance metrics the RankingModule supports.
+IMPORTANCE_METRICS: Tuple[str, ...] = ("pagerank", "hits")
+
+
+def _unknown_choice(kind: str, name: object, choices: Tuple[str, ...]) -> ValueError:
+    listed = ", ".join(repr(choice) for choice in choices)
+    return ValueError(f"unknown {kind} {name!r}; valid choices: {listed}")
+
+
+@dataclass(frozen=True)
+class _SpecBase:
+    """Shared to_dict/from_dict/hash machinery for the spec dataclasses."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain, JSON-serializable dict with every field included."""
+        out: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, _SpecBase):
+                value = value.to_dict()
+            elif isinstance(value, Mapping):
+                value = dict(value)
+            out[spec_field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls: Type[SpecT], data: Mapping[str, Any]) -> SpecT:
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Missing fields take their defaults; unknown keys raise a
+        ``ValueError`` listing the valid field names.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"{cls.__name__} must be built from a mapping, "
+                             f"got {type(data).__name__}")
+        valid = {spec_field.name: spec_field for spec_field in fields(cls)}
+        unknown = sorted(set(data) - set(valid))
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.__name__} field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(sorted(valid))}"
+            )
+        kwargs = dict(data)
+        for name, nested_cls in cls._nested_spec_fields().items():
+            if kwargs.get(name) is not None:
+                kwargs[name] = nested_cls.from_dict(kwargs[name])
+        return cls(**kwargs)
+
+    @classmethod
+    def _nested_spec_fields(cls) -> Dict[str, Type["_SpecBase"]]:
+        """Field name -> spec class for fields holding nested specs."""
+        return {}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Canonical JSON (sorted keys) for files and hashing."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls: Type[SpecT], text: str) -> SpecT:
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the spec (sha256 of canonical JSON).
+
+        Two specs hash identically iff every field (including defaults)
+        matches, so the hash is a provenance key for results.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def replace(self: SpecT, **changes: Any) -> SpecT:
+        """A copy of the spec with ``changes`` applied (dataclass replace)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class WebSpec(_SpecBase):
+    """Declarative description of a synthetic web.
+
+    Mirrors :class:`repro.simweb.generator.WebGeneratorConfig` (minus the
+    link-graph knobs, which keep their defaults) so a spec can be turned
+    into a generator config with :meth:`to_generator_config`.
+
+    Attributes:
+        site_scale: Multiplier on the paper's Table 1 per-domain site counts.
+        pages_per_site: Pages initially present at each site.
+        window_size: Monitoring-window size per site (defaults to
+            ``pages_per_site``).
+        horizon_days: Virtual-time horizon of the web.
+        new_page_fraction: Pages created during the horizon, as a fraction
+            of ``pages_per_site``.
+        site_counts: Optional explicit per-domain site counts.
+        change_model: Optional registered change-model name overriding the
+            calibrated per-domain mixtures for every page.
+        change_model_params: Keyword arguments for the change-model factory.
+        seed: Seed of the web's random generator.
+    """
+
+    site_scale: float = 0.05
+    pages_per_site: int = 30
+    window_size: Optional[int] = None
+    horizon_days: float = 127.0
+    new_page_fraction: float = 0.25
+    site_counts: Optional[Dict[str, int]] = None
+    change_model: Optional[str] = None
+    change_model_params: Optional[Dict[str, float]] = None
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        # Delegate numeric validation (and the change-model registry check)
+        # to the generator config so the two can never drift apart.
+        self.to_generator_config()
+
+    def to_generator_config(self, seed: Optional[int] = None) -> WebGeneratorConfig:
+        """The equivalent :class:`WebGeneratorConfig`.
+
+        Args:
+            seed: Optional override of the spec's seed (used when an
+                :class:`ExperimentSpec` pins a run-level seed).
+        """
+        return WebGeneratorConfig(
+            site_scale=self.site_scale,
+            pages_per_site=self.pages_per_site,
+            window_size=self.window_size,
+            horizon_days=self.horizon_days,
+            new_page_fraction=self.new_page_fraction,
+            site_counts=dict(self.site_counts) if self.site_counts else None,
+            change_model=self.change_model,
+            change_model_params=(
+                dict(self.change_model_params) if self.change_model_params else None
+            ),
+            seed=self.seed if seed is None else seed,
+        )
+
+
+@dataclass(frozen=True)
+class PolicySpec(_SpecBase):
+    """The crawler's pluggable policy choices, all registry-resolved names.
+
+    Attributes:
+        revisit_policy: Registered revisit-policy name
+            (:data:`repro.api.registry.REVISIT_POLICIES`).
+        estimator: Registered change-rate estimator name
+            (:data:`repro.api.registry.ESTIMATORS`).
+        importance_metric: ``"pagerank"`` or ``"hits"``.
+        use_importance: Let the revisit policy weight pages by importance.
+    """
+
+    revisit_policy: str = "optimal"
+    estimator: str = "ep"
+    importance_metric: str = "pagerank"
+    use_importance: bool = False
+
+    def __post_init__(self) -> None:
+        REVISIT_POLICIES.validate(self.revisit_policy)
+        ESTIMATORS.validate(self.estimator)
+        if self.importance_metric not in IMPORTANCE_METRICS:
+            raise _unknown_choice(
+                "importance metric", self.importance_metric, IMPORTANCE_METRICS
+            )
+
+
+@dataclass(frozen=True)
+class CrawlerSpec(_SpecBase):
+    """Declarative description of a crawler run.
+
+    Attributes:
+        kind: ``"incremental"`` (steady, in-place, variable frequency) or
+            ``"periodic"`` (batch, shadowing, fixed frequency).
+        collection_capacity: Target collection size.
+        crawl_budget_per_day: Pages fetched per virtual day.
+        duration_days: Virtual days to run.
+        start_time: Virtual time at which the run starts.
+        cycle_days: Cycle length (periodic crawler only).
+        ranking_interval_days: RankingModule scan cadence (incremental only).
+        reallocation_interval_days: Revisit-interval recomputation cadence
+            (incremental only).
+        measurement_interval_days: Freshness sampling cadence.
+        default_revisit_interval_days: Interval assumed before a page has a
+            change history (incremental only).
+        track_quality: Also sample collection quality.
+        use_politeness: Apply per-site politeness delays (incremental only).
+    """
+
+    kind: str = "incremental"
+    collection_capacity: int = 200
+    crawl_budget_per_day: float = 500.0
+    duration_days: float = 30.0
+    start_time: float = 0.0
+    cycle_days: float = 10.0
+    ranking_interval_days: float = 5.0
+    reallocation_interval_days: float = 1.0
+    measurement_interval_days: float = 1.0
+    default_revisit_interval_days: float = 7.0
+    track_quality: bool = True
+    use_politeness: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in CRAWLER_KINDS:
+            raise _unknown_choice("crawler kind", self.kind, CRAWLER_KINDS)
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        if self.start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        # Capacity/budget/interval validation lives in the crawler configs;
+        # fail fast here so a bad spec never reaches web generation.
+        if self.collection_capacity < 1:
+            raise ValueError("collection_capacity must be at least 1")
+        if self.crawl_budget_per_day <= 0:
+            raise ValueError("crawl_budget_per_day must be positive")
+        if self.cycle_days <= 0:
+            raise ValueError("cycle_days must be positive")
+        if self.measurement_interval_days <= 0:
+            raise ValueError("measurement_interval_days must be positive")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec(_SpecBase):
+    """A complete, runnable experiment definition.
+
+    Attributes:
+        name: Free-form experiment name (recorded in the result).
+        kind: One of :data:`EXPERIMENT_KINDS`.
+        web: The synthetic web (required for ``crawl`` and ``monitor``).
+        crawler: The crawler to run (required for ``crawl``).
+        policy: Policy choices for the incremental crawler; defaults apply
+            when omitted.
+        scenario: Registered scenario name (required for ``scenario``).
+        params: Extra keyword arguments: scenario parameters for
+            ``scenario`` experiments, monitoring options (``start_day``,
+            ``end_day``, ``n_candidates``, ``consent_rate``,
+            ``selection_seed``) for ``monitor`` experiments.
+        seed: Optional run-level seed overriding the web spec's seed (and
+            forwarded to scenarios that accept a ``seed`` parameter).
+    """
+
+    name: str
+    kind: str = "crawl"
+    web: Optional[WebSpec] = None
+    crawler: Optional[CrawlerSpec] = None
+    policy: Optional[PolicySpec] = None
+    scenario: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("experiment name must be non-empty")
+        if self.kind not in EXPERIMENT_KINDS:
+            raise _unknown_choice("experiment kind", self.kind, EXPERIMENT_KINDS)
+        if self.kind in ("crawl", "monitor") and self.web is None:
+            raise ValueError(f'a {self.kind!r} experiment needs a "web" spec')
+        if self.kind == "crawl" and self.crawler is None:
+            raise ValueError('a "crawl" experiment needs a "crawler" spec')
+        if self.kind == "scenario":
+            if not self.scenario:
+                raise ValueError('a "scenario" experiment needs a scenario name')
+            # Canned scenarios register on import of repro.api.scenarios;
+            # import lazily to keep specs importable from domain modules.
+            from repro.api.registry import SCENARIOS
+            import repro.api.scenarios  # noqa: F401  (registration side effect)
+
+            SCENARIOS.validate(self.scenario)
+        try:
+            json.dumps(dict(self.params))
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"params must be JSON-serializable: {error}") from error
+
+    @classmethod
+    def _nested_spec_fields(cls) -> Dict[str, Type[_SpecBase]]:
+        return {"web": WebSpec, "crawler": CrawlerSpec, "policy": PolicySpec}
+
+    def effective_seed(self) -> Optional[int]:
+        """The seed recorded in result provenance.
+
+        The run-level seed wins; otherwise the web seed (crawl/monitor) or
+        the explicit ``seed`` scenario parameter, if any.
+        """
+        if self.seed is not None:
+            return self.seed
+        if self.web is not None:
+            return self.web.seed
+        seed = self.params.get("seed")
+        return seed if isinstance(seed, int) else None

@@ -1,7 +1,9 @@
 """Command-line interface.
 
-The CLI exposes the main workflows of the reproduction so that they can be
-run without writing Python:
+The CLI is a thin shim over the declarative experiment API
+(:mod:`repro.api`): every subcommand builds an
+:class:`~repro.api.specs.ExperimentSpec` (or resolves registry entries) and
+routes it through :func:`repro.api.runner.run`.
 
 ``python -m repro web-stats``
     Generate a synthetic web and print its calibration statistics.
@@ -13,27 +15,25 @@ run without writing Python:
     synthetic web and print freshness/quality.
 ``python -m repro compare-policies``
     Print the Table 2 design-choice comparison and the revisit-policy gains.
+``python -m repro run-spec FILE.json``
+    Run a JSON-defined experiment end to end and emit the JSON result
+    (with seed and spec-hash provenance).
+``python -m repro list-scenarios``
+    List the registered scenarios, revisit policies, estimators and change
+    models available to specs.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Optional, Sequence
+import json
+import sys
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.report import format_bar_chart, format_table
-from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
-from repro.core.periodic_crawler import PeriodicCrawler, PeriodicCrawlerConfig
-from repro.experiment.change_interval import analyze_change_intervals
-from repro.experiment.lifespan_analysis import analyze_lifespans
-from repro.experiment.monitor import ActiveMonitor
-from repro.experiment.survival import analyze_survival
-from repro.freshness.analytic import time_averaged_freshness
-from repro.simulation.scenarios import (
-    PAPER_TABLE2_FRESHNESS,
-    paper_table2_policies,
-    table2_scenario_rate,
-)
-from repro.simweb.generator import WebGeneratorConfig, generate_web
+from repro.api.registry import CHANGE_MODELS, ESTIMATORS, REVISIT_POLICIES, SCENARIOS
+from repro.api.runner import build_web, run
+from repro.api.specs import CrawlerSpec, ExperimentSpec, PolicySpec, WebSpec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,15 +80,33 @@ def build_parser() -> argparse.ArgumentParser:
     crawler.add_argument("--duration", type=float, default=45.0,
                          help="virtual days to run")
     crawler.add_argument(
-        "--revisit-policy", choices=("uniform", "proportional", "optimal"),
+        "--revisit-policy", choices=tuple(REVISIT_POLICIES.names()),
         default="optimal",
     )
-    crawler.add_argument("--estimator", choices=("ep", "eb"), default="ep")
+    crawler.add_argument("--estimator", choices=tuple(ESTIMATORS.names()), default="ep")
     crawler.add_argument("--cycle-days", type=float, default=10.0,
                          help="cycle length of the periodic crawler")
 
     subparsers.add_parser(
         "compare-policies", help="print the Table 2 design-choice comparison"
+    )
+
+    run_spec = subparsers.add_parser(
+        "run-spec", help="run a JSON experiment spec and print the JSON result"
+    )
+    run_spec.add_argument("spec", help="path to an ExperimentSpec JSON file ('-' = stdin)")
+    run_spec.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSON result to FILE",
+    )
+    run_spec.add_argument(
+        "--compact", action="store_true",
+        help="emit compact JSON instead of indented",
+    )
+
+    subparsers.add_parser(
+        "list-scenarios",
+        help="list registered scenarios, policies, estimators and change models",
     )
     return parser
 
@@ -97,29 +115,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    web_config = WebGeneratorConfig(
+    commands: Dict[str, Callable[[argparse.Namespace], int]] = {
+        "web-stats": _cmd_web_stats,
+        "run-experiment": _cmd_run_experiment,
+        "run-crawler": _cmd_run_crawler,
+        "compare-policies": _cmd_compare_policies,
+        "run-spec": _cmd_run_spec,
+        "list-scenarios": _cmd_list_scenarios,
+    }
+    return commands[args.command](args)
+
+
+def _web_spec(args: argparse.Namespace) -> WebSpec:
+    """The web spec shared by the web-touching subcommands."""
+    return WebSpec(
         site_scale=args.site_scale,
         pages_per_site=args.pages_per_site,
         horizon_days=args.horizon_days,
         seed=args.seed,
     )
-    if args.command == "web-stats":
-        return _cmd_web_stats(web_config)
-    if args.command == "run-experiment":
-        return _cmd_run_experiment(web_config, args)
-    if args.command == "run-crawler":
-        return _cmd_run_crawler(web_config, args)
-    if args.command == "compare-policies":
-        return _cmd_compare_policies()
-    parser.error(f"unknown command {args.command!r}")
-    return 2
 
 
 # --------------------------------------------------------------------- #
 # Commands
 # --------------------------------------------------------------------- #
-def _cmd_web_stats(web_config: WebGeneratorConfig) -> int:
-    web = generate_web(web_config)
+def _cmd_web_stats(args: argparse.Namespace) -> int:
+    web = build_web(_web_spec(args))
     rows = [
         ("sites", web.n_sites),
         ("pages", web.n_pages),
@@ -132,77 +153,119 @@ def _cmd_web_stats(web_config: WebGeneratorConfig) -> int:
     return 0
 
 
-def _cmd_run_experiment(web_config: WebGeneratorConfig, args: argparse.Namespace) -> int:
-    web = generate_web(web_config)
-    end_day = (args.days - 1) if args.days else int(web.horizon_days) - 1
-    log = ActiveMonitor(web).run(start_day=0, end_day=end_day)
-    print(f"monitored {log.n_pages} pages for {log.duration_days} days\n")
-
-    change = analyze_change_intervals(log)
-    print(format_bar_chart(change.overall_fractions(),
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
+    web_spec = _web_spec(args)
+    params = {}
+    if args.days:
+        params["end_day"] = args.days - 1
+    result = run(ExperimentSpec(
+        name="cli/run-experiment", kind="monitor", web=web_spec, params=params,
+    ))
+    print(f"monitored {result.summary['n_pages']} pages "
+          f"for {result.summary['duration_days']} days\n")
+    print(format_bar_chart(result.tables["change_interval_fractions"],
                            title="Figure 2(a): average change interval"))
-    lifespan = analyze_lifespans(log)
     print()
-    print(format_bar_chart(lifespan.method1_overall.labelled_fractions(),
+    print(format_bar_chart(result.tables["lifespan_fractions"],
                            title="Figure 4(a): visible lifespan (Method 1)"))
-    survival = analyze_survival(log)
     print()
     rows = [
         (domain, "not reached" if day is None else f"{day:.0f}")
-        for domain, day in survival.half_change_days().items()
+        for domain, day in result.tables["half_change_days"].items()
     ]
     print(format_table(["domain", "days to 50% change"], rows, title="Figure 5"))
     return 0
 
 
-def _cmd_run_crawler(web_config: WebGeneratorConfig, args: argparse.Namespace) -> int:
-    web = generate_web(web_config)
-    if args.mode == "incremental":
-        crawler = IncrementalCrawler(
-            web,
-            IncrementalCrawlerConfig(
-                collection_capacity=args.capacity,
-                crawl_budget_per_day=args.budget,
-                revisit_policy=args.revisit_policy,
-                estimator=args.estimator,
-                measurement_interval_days=1.0,
-            ),
-        )
-        result = crawler.run(args.duration)
-        collection_size = len(crawler.collection.current_records())
-    else:
-        crawler = PeriodicCrawler(
-            web,
-            PeriodicCrawlerConfig(
-                collection_capacity=args.capacity,
-                crawl_budget_per_day=args.budget,
-                cycle_days=args.cycle_days,
-                measurement_interval_days=1.0,
-            ),
-        )
-        result = crawler.run(args.duration)
-        collection_size = len(crawler.collection.current_records())
+def _cmd_run_crawler(args: argparse.Namespace) -> int:
+    result = run(ExperimentSpec(
+        name=f"cli/run-crawler/{args.mode}",
+        kind="crawl",
+        web=_web_spec(args),
+        crawler=CrawlerSpec(
+            kind=args.mode,
+            collection_capacity=args.capacity,
+            crawl_budget_per_day=args.budget,
+            duration_days=args.duration,
+            cycle_days=args.cycle_days,
+            measurement_interval_days=1.0,
+        ),
+        policy=PolicySpec(
+            revisit_policy=args.revisit_policy,
+            estimator=args.estimator,
+        ),
+    ))
     rows = [
         ("mode", args.mode),
-        ("pages fetched", result.pages_crawled),
-        ("collection size", collection_size),
-        ("mean freshness", f"{result.mean_freshness():.3f}"),
-        ("final quality", f"{result.final_quality():.3f}"),
+        ("pages fetched", result.summary["pages_crawled"]),
+        ("collection size", result.summary["collection_size"]),
+        ("mean freshness", f"{result.summary['mean_freshness']:.3f}"),
+        ("final quality", f"{result.summary['final_quality']:.3f}"),
     ]
     print(format_table(["metric", "value"], rows, title="crawl summary"))
     return 0
 
 
-def _cmd_compare_policies() -> int:
-    rate = table2_scenario_rate()
-    rows = []
-    for name, policy in paper_table2_policies().items():
-        rows.append(
-            (name, f"{PAPER_TABLE2_FRESHNESS[name]:.2f}",
-             f"{time_averaged_freshness(policy, rate):.3f}")
-        )
+def _cmd_compare_policies(args: argparse.Namespace) -> int:
+    result = run(ExperimentSpec(
+        name="cli/compare-policies", kind="scenario", scenario="table2",
+        params={"simulate": False},
+    ))
+    paper = result.tables["paper"]
+    analytic = result.tables["analytic"]
+    rows = [
+        (name, f"{paper[name]:.2f}", f"{analytic[name]:.3f}")
+        for name in paper
+    ]
     print(format_table(["policy", "paper (Table 2)", "this reproduction"], rows,
                        title="Table 2: freshness of the current collection"))
+    return 0
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    if args.spec == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        spec = ExperimentSpec.from_json(text)
+    except (TypeError, ValueError, json.JSONDecodeError) as error:
+        # TypeError covers wrongly-typed field values (e.g. a quoted number)
+        # surfacing from the spec/config validators.
+        print(f"invalid experiment spec: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = run(spec)
+    except (TypeError, ValueError) as error:
+        # e.g. scenario/monitor parameters rejected at call time.
+        print(f"experiment failed: {error}", file=sys.stderr)
+        return 2
+    payload = result.to_json(indent=None if args.compact else 2)
+    print(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    return 0
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    import repro.api.scenarios  # noqa: F401  (registration side effect)
+
+    registries = (
+        ("scenario", SCENARIOS),
+        ("revisit policy", REVISIT_POLICIES),
+        ("estimator", ESTIMATORS),
+        ("change model", CHANGE_MODELS),
+    )
+    rows = []
+    for kind, registry in registries:
+        for name in registry.names():
+            factory = registry.get(name)
+            doc = (factory.__doc__ or "").strip().splitlines()
+            rows.append((kind, name, doc[0] if doc else ""))
+    print(format_table(["kind", "name", "description"], rows,
+                       title="registered experiment building blocks"))
     return 0
 
 

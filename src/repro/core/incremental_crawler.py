@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.registry import REVISIT_POLICIES
 from repro.core.allurls import AllUrls
 from repro.core.collurls import CollUrls
 from repro.core.crawl_module import CrawlModule
@@ -32,12 +33,7 @@ from repro.core.ranking_module import RankingModule, RankingModuleConfig
 from repro.core.update_module import UpdateModule, UpdateModuleConfig
 from repro.fetch.fetcher import SimulatedFetcher
 from repro.fetch.politeness import PolitenessPolicy
-from repro.freshness.policies import (
-    OptimalRevisitPolicy,
-    ProportionalRevisitPolicy,
-    RevisitPolicy,
-    UniformRevisitPolicy,
-)
+from repro.freshness.policies import RevisitPolicy, build_revisit_policy
 from repro.simulation.clock import VirtualClock
 from repro.simulation.events import EventQueue
 from repro.simulation.freshness_tracker import FreshnessTimeSeries, FreshnessTracker
@@ -52,8 +48,12 @@ class IncrementalCrawlerConfig:
     Attributes:
         collection_capacity: Target number of pages in the collection.
         crawl_budget_per_day: Pages fetched per virtual day.
-        revisit_policy: ``"uniform"``, ``"proportional"`` or ``"optimal"``.
-        estimator: Change-frequency estimator, ``"ep"`` or ``"eb"``.
+        revisit_policy: Name of a registered revisit policy (``"uniform"``,
+            ``"proportional"`` or ``"optimal"`` out of the box); resolved
+            through :data:`repro.api.registry.REVISIT_POLICIES`.
+        estimator: Name of a registered change-frequency estimator (``"ep"``
+            or ``"eb"`` out of the box); resolved through
+            :data:`repro.api.registry.ESTIMATORS`.
         importance_metric: ``"pagerank"`` or ``"hits"``.
         ranking_interval_days: How often the RankingModule scan runs.
         reallocation_interval_days: How often revisit intervals are
@@ -86,22 +86,17 @@ class IncrementalCrawlerConfig:
             raise ValueError("collection_capacity must be at least 1")
         if self.crawl_budget_per_day <= 0:
             raise ValueError("crawl_budget_per_day must be positive")
-        if self.revisit_policy not in ("uniform", "proportional", "optimal"):
-            raise ValueError(
-                'revisit_policy must be "uniform", "proportional" or "optimal"'
-            )
+        REVISIT_POLICIES.validate(self.revisit_policy)
         if self.ranking_interval_days <= 0:
             raise ValueError("ranking_interval_days must be positive")
         if self.measurement_interval_days <= 0:
             raise ValueError("measurement_interval_days must be positive")
 
     def build_revisit_policy(self) -> RevisitPolicy:
-        """Instantiate the configured revisit policy."""
-        if self.revisit_policy == "uniform":
-            return UniformRevisitPolicy()
-        if self.revisit_policy == "proportional":
-            return ProportionalRevisitPolicy()
-        return OptimalRevisitPolicy(use_importance=self.use_importance_in_scheduling)
+        """Instantiate the configured revisit policy through the registry."""
+        return build_revisit_policy(
+            self.revisit_policy, use_importance=self.use_importance_in_scheduling
+        )
 
 
 @dataclass

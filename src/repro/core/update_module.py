@@ -19,11 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.api.registry import ESTIMATORS
 from repro.core.collurls import CollUrls
 from repro.core.crawl_module import CrawlModule, CrawlOutcome
-from repro.estimation.bayesian_estimator import BayesianClassEstimator
 from repro.estimation.change_history import ChangeHistory
-from repro.estimation.poisson_estimator import PoissonRateEstimator
+from repro.estimation.rate_estimators import ChangeRateEstimator, build_rate_estimator
 from repro.freshness.policies import RevisitPolicy, UniformRevisitPolicy
 
 
@@ -34,8 +34,10 @@ class UpdateModuleConfig:
     Attributes:
         crawl_budget_per_day: Total pages the crawler may fetch per day; the
             revisit policy spreads this budget over the collection.
-        estimator: ``"ep"`` (Poisson rate estimator) or ``"eb"`` (Bayesian
-            frequency classes).
+        estimator: Name of a registered change-rate estimator — ``"ep"``
+            (Poisson rate estimator) or ``"eb"`` (Bayesian frequency
+            classes) out of the box; resolved through
+            :data:`repro.api.registry.ESTIMATORS`.
         default_interval_days: Revisit interval assumed for a page before
             any change history exists.
         reallocation_interval_days: How often the revisit intervals are
@@ -56,8 +58,7 @@ class UpdateModuleConfig:
     def __post_init__(self) -> None:
         if self.crawl_budget_per_day <= 0:
             raise ValueError("crawl_budget_per_day must be positive")
-        if self.estimator not in ("ep", "eb"):
-            raise ValueError('estimator must be "ep" or "eb"')
+        ESTIMATORS.validate(self.estimator)
         if self.default_interval_days <= 0:
             raise ValueError("default_interval_days must be positive")
         if self.reallocation_interval_days <= 0:
@@ -87,8 +88,7 @@ class UpdateModule:
         self._config = config
         self._policy = revisit_policy if revisit_policy is not None else UniformRevisitPolicy()
         self._histories: Dict[str, ChangeHistory] = {}
-        self._eb_estimators: Dict[str, BayesianClassEstimator] = {}
-        self._ep_estimator = PoissonRateEstimator()
+        self._estimator: ChangeRateEstimator = build_rate_estimator(config.estimator)
         self._rate_estimates: Dict[str, float] = {}
         self._intervals: Dict[str, float] = {}
         self._importance: Dict[str, float] = {}
@@ -162,31 +162,12 @@ class UpdateModule:
             self._histories[url] = ChangeHistory(
                 first_visit=at, window_days=self._config.history_window_days
             )
-            if self._config.estimator == "eb":
-                self._eb_estimators[url] = BayesianClassEstimator()
+            self._estimator.reset_page(url)
             return
         history.record_visit(at, outcome.changed)
         if outcome.changed:
             self.changes_detected += 1
-        self._rate_estimates[url] = self._estimate_rate(url, history, outcome)
-
-    def _estimate_rate(
-        self, url: str, history: ChangeHistory, outcome: CrawlOutcome
-    ) -> float:
-        if self._config.estimator == "eb":
-            estimator = self._eb_estimators.setdefault(url, BayesianClassEstimator())
-            last = history.observations[-1]
-            estimator.observe(last.interval, last.changed)
-            return estimator.expected_rate()
-        estimate = self._ep_estimator.estimate(history)
-        if estimate is None:
-            return 0.0
-        if estimate.rate == float("inf"):
-            # Every visit saw a change: the best we can say is "at least once
-            # per visit interval"; use the reciprocal of the mean interval.
-            mean_interval = history.mean_interval()
-            return 1.0 / mean_interval if mean_interval > 0 else 1.0
-        return estimate.rate
+        self._rate_estimates[url] = self._estimator.update(url, history)
 
     def _maybe_reallocate(self, at: float) -> None:
         if (
@@ -229,6 +210,6 @@ class UpdateModule:
 
     def _forget(self, url: str) -> None:
         self._histories.pop(url, None)
-        self._eb_estimators.pop(url, None)
+        self._estimator.forget(url)
         self._rate_estimates.pop(url, None)
         self._intervals.pop(url, None)

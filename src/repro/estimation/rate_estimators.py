@@ -1,0 +1,124 @@
+"""Pluggable change-rate estimation strategies for the UpdateModule.
+
+The UpdateModule needs one number per page — the estimated change rate used
+for revisit scheduling — but the paper's two estimators arrive at it very
+differently: EP re-estimates from the page's full change history on every
+visit, while EB keeps per-page Bayesian state and folds in one observation
+at a time. :class:`ChangeRateEstimator` is the strategy interface that hides
+that difference, and the two implementations register themselves in
+:data:`repro.api.registry.ESTIMATORS` under the paper's names ``"ep"`` and
+``"eb"``, which is how crawler configs and experiment specs resolve the
+estimator choice.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+from repro.api.registry import register_estimator
+from repro.estimation.bayesian_estimator import BayesianClassEstimator
+from repro.estimation.change_history import ChangeHistory
+from repro.estimation.poisson_estimator import PoissonRateEstimator
+
+
+class ChangeRateEstimator(ABC):
+    """Per-page change-rate estimation strategy.
+
+    The UpdateModule calls :meth:`reset_page` when a page enters (or
+    re-enters) the collection, :meth:`update` after every subsequent visit
+    whose observation was just appended to ``history``, and :meth:`forget`
+    when the page leaves the collection.
+    """
+
+    @abstractmethod
+    def reset_page(self, url: str) -> None:
+        """Start (or restart) estimation state for ``url``."""
+
+    @abstractmethod
+    def update(self, url: str, history: ChangeHistory) -> float:
+        """Consume the newest observation in ``history``; return the rate.
+
+        Args:
+            url: The page's URL.
+            history: The page's change history; its last observation is the
+                one just recorded.
+
+        Returns:
+            The estimated change rate in changes per day.
+        """
+
+    def forget(self, url: str) -> None:
+        """Drop any per-page state for ``url``."""
+
+
+@register_estimator("ep")
+class PoissonRateStrategy(ChangeRateEstimator):
+    """EP: the bias-corrected Poisson rate estimator of Section 5.3.
+
+    Stateless per page — every update re-estimates from the full history —
+    so :meth:`reset_page` and :meth:`forget` are no-ops.
+
+    Args:
+        use_bias_correction: Apply the [CGM99a] bias correction (the naive
+            detected-changes-over-time estimator saturates for pages that
+            change faster than the visit interval).
+    """
+
+    def __init__(self, use_bias_correction: bool = True) -> None:
+        self._estimator = PoissonRateEstimator(use_bias_correction=use_bias_correction)
+
+    @property
+    def estimator(self) -> PoissonRateEstimator:
+        """The underlying EP estimator (confidence intervals and all)."""
+        return self._estimator
+
+    def reset_page(self, url: str) -> None:
+        pass
+
+    def update(self, url: str, history: ChangeHistory) -> float:
+        estimate = self._estimator.estimate(history)
+        if estimate is None:
+            return 0.0
+        if estimate.rate == float("inf"):
+            # Every visit saw a change: the best we can say is "at least once
+            # per visit interval"; use the reciprocal of the mean interval.
+            mean_interval = history.mean_interval()
+            return 1.0 / mean_interval if mean_interval > 0 else 1.0
+        return estimate.rate
+
+
+@register_estimator("eb")
+class BayesianClassStrategy(ChangeRateEstimator):
+    """EB: per-page Bayesian posterior over frequency classes."""
+
+    def __init__(self) -> None:
+        self._per_page: Dict[str, BayesianClassEstimator] = {}
+
+    def reset_page(self, url: str) -> None:
+        self._per_page[url] = BayesianClassEstimator()
+
+    def update(self, url: str, history: ChangeHistory) -> float:
+        estimator = self._per_page.setdefault(url, BayesianClassEstimator())
+        last = history.observations[-1]
+        estimator.observe(last.interval, last.changed)
+        return estimator.expected_rate()
+
+    def forget(self, url: str) -> None:
+        self._per_page.pop(url, None)
+
+    def estimator_for(self, url: str) -> BayesianClassEstimator:
+        """The page's underlying Bayesian estimator (posterior inspection)."""
+        return self._per_page.setdefault(url, BayesianClassEstimator())
+
+
+def build_rate_estimator(name: str) -> ChangeRateEstimator:
+    """Instantiate the registered estimator strategy called ``name``.
+
+    Raises:
+        repro.api.registry.UnknownEntryError: If ``name`` is not registered;
+            the message lists the registered estimator names.
+    """
+    from repro.api.registry import ESTIMATORS
+
+    return ESTIMATORS.create(name)

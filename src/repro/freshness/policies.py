@@ -10,6 +10,12 @@ budget. Three policies are provided, matching the Section 4 discussion:
   changes; intuitive but suboptimal, as the paper's two-page example shows;
 * :class:`OptimalRevisitPolicy` — the freshness-optimal allocation of
   [CGM99b] (Figure 9), optionally importance-weighted.
+
+Each policy registers itself in :data:`repro.api.registry.REVISIT_POLICIES`
+under its configuration name (``"uniform"``, ``"proportional"``,
+``"optimal"``), which is how crawler configs and experiment specs resolve
+the name to a policy instance; :func:`build_revisit_policy` is the shared
+constructor.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Mapping, Optional
 
+from repro.api.registry import REVISIT_POLICIES, register_revisit_policy
 from repro.freshness.optimal_allocation import (
     optimal_revisit_frequencies,
     proportional_revisit_frequencies,
@@ -79,6 +86,7 @@ class RevisitPolicy(ABC):
             raise ValueError("change rates must be non-negative")
 
 
+@register_revisit_policy("uniform")
 class UniformRevisitPolicy(RevisitPolicy):
     """Every page is revisited at the same frequency (fixed-frequency)."""
 
@@ -94,6 +102,7 @@ class UniformRevisitPolicy(RevisitPolicy):
         return dict(zip(urls, values))
 
 
+@register_revisit_policy("proportional")
 class ProportionalRevisitPolicy(RevisitPolicy):
     """Revisit frequency proportional to the estimated change rate."""
 
@@ -111,6 +120,7 @@ class ProportionalRevisitPolicy(RevisitPolicy):
         return dict(zip(urls, values))
 
 
+@register_revisit_policy("optimal")
 class OptimalRevisitPolicy(RevisitPolicy):
     """Freshness-optimal allocation, optionally importance-weighted.
 
@@ -145,3 +155,20 @@ class OptimalRevisitPolicy(RevisitPolicy):
             [rates[url] for url in urls], budget_per_day, weights=weights
         )
         return dict(zip(urls, values))
+
+
+def build_revisit_policy(name: str, use_importance: bool = False) -> RevisitPolicy:
+    """Instantiate the registered revisit policy called ``name``.
+
+    Args:
+        name: A name registered in
+            :data:`repro.api.registry.REVISIT_POLICIES` (``"uniform"``,
+            ``"proportional"`` and ``"optimal"`` out of the box).
+        use_importance: Passed through to policies that support importance
+            weighting (ignored by the others).
+
+    Raises:
+        repro.api.registry.UnknownEntryError: If ``name`` is not registered;
+            the message lists the registered policy names.
+    """
+    return REVISIT_POLICIES.create(name, use_importance=use_importance)

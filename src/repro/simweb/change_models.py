@@ -18,6 +18,11 @@ Two additional processes are provided for ablations and tests:
 All processes expose the same interface: a sorted array of change times over
 a horizon, and helpers to count changes and look up the version of the page
 at a given virtual time. Virtual time is measured in days.
+
+The concrete processes register themselves in
+:data:`repro.api.registry.CHANGE_MODELS` (``"poisson"``, ``"periodic"``,
+``"bursty"``, ``"never"``), so web specs and the generator can select a
+model by name.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence
 
 import numpy as np
+
+from repro.api.registry import register_change_model
 
 
 class ChangeProcess(ABC):
@@ -142,6 +149,7 @@ class ChangeProcess(ABC):
             )
 
 
+@register_change_model("poisson")
 class PoissonChangeProcess(ChangeProcess):
     """Poisson change process with a fixed rate (changes per day).
 
@@ -175,6 +183,7 @@ class PoissonChangeProcess(ChangeProcess):
         return list(np.sort(rng.uniform(0.0, horizon, size=count)))
 
 
+@register_change_model("periodic")
 class PeriodicChangeProcess(ChangeProcess):
     """Deterministic change process: one change every ``interval`` days."""
 
@@ -200,6 +209,7 @@ class PeriodicChangeProcess(ChangeProcess):
         return times
 
 
+@register_change_model("bursty")
 class BurstyChangeProcess(ChangeProcess):
     """Bursts of changes separated by exponential quiet periods.
 
@@ -245,6 +255,7 @@ class BurstyChangeProcess(ChangeProcess):
         return times
 
 
+@register_change_model("never")
 class NeverChanges(ChangeProcess):
     """A page whose content never changes (the static edu/gov tail)."""
 

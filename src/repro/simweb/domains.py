@@ -21,7 +21,7 @@ reproduces those distributions. Table 1's site mix (132 com, 78 edu,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -178,6 +178,40 @@ def profile_for(domain: str) -> DomainProfile:
     except KeyError as error:
         known = ", ".join(sorted(DOMAIN_PROFILES))
         raise KeyError(f"unknown domain {domain!r}; known domains: {known}") from error
+
+
+def sample_calibrated_rates(
+    n_pages: int, seed: Union[int, np.random.Generator] = 5
+) -> List[float]:
+    """Draw page change rates from the calibrated per-domain mixtures.
+
+    Each domain contributes pages in proportion to its Table 1 site share,
+    and each page draws a representative rate-class rate from the domain's
+    Figure 2(b) mixture. This is the shared population sampler behind the
+    Figure 9/10 policy-comparison benchmarks and the ``revisit-policies``
+    scenario.
+
+    Args:
+        n_pages: Approximate population size (per-domain rounding can move
+            the total by a page or two).
+        seed: Seed, or an existing generator to draw from.
+
+    Returns:
+        Change rates in changes per day (0.0 for the static class).
+    """
+    if n_pages < 1:
+        raise ValueError("n_pages must be at least 1")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    total_sites = sum(p.site_count for p in DOMAIN_PROFILES.values())
+    rates: List[float] = []
+    for profile in DOMAIN_PROFILES.values():
+        share = profile.site_count / total_sites
+        for _ in range(int(round(n_pages * share))):
+            rate_class = RATE_CLASSES[
+                rng.choice(len(RATE_CLASSES), p=np.asarray(profile.rate_mixture))
+            ]
+            rates.append(rate_class.rate_per_day)
+    return rates
 
 
 def overall_rate_mixture() -> Tuple[float, ...]:

@@ -17,11 +17,13 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.api.registry import CHANGE_MODELS
 from repro.simweb.change_models import ChangeProcess
 from repro.simweb.domains import DOMAIN_ORDER, DOMAIN_PROFILES, DomainProfile
 from repro.simweb.lifespan import LifespanModel
@@ -54,6 +56,13 @@ class WebGeneratorConfig:
         site_counts: Optional explicit per-domain site counts, overriding
             ``site_scale``.
         link_config: Link-graph generation parameters.
+        change_model: Optional name of a registered change model (see
+            :data:`repro.api.registry.CHANGE_MODELS`); when set, every page
+            draws its change process from this model (with
+            ``change_model_params``) instead of the calibrated per-domain
+            mixtures. Useful for clockwork/bursty ablation webs.
+        change_model_params: Keyword arguments for the change-model factory
+            (e.g. ``{"rate": 0.2}`` for ``"poisson"``).
         seed: Seed of the top-level random generator; the same seed always
             produces the same web.
     """
@@ -65,6 +74,8 @@ class WebGeneratorConfig:
     new_page_fraction: float = 0.25
     site_counts: Optional[Dict[str, int]] = None
     link_config: LinkGraphConfig = field(default_factory=LinkGraphConfig)
+    change_model: Optional[str] = None
+    change_model_params: Optional[Dict[str, float]] = None
     seed: int = 17
 
     def __post_init__(self) -> None:
@@ -78,6 +89,41 @@ class WebGeneratorConfig:
             raise ValueError("horizon_days must be positive")
         if self.new_page_fraction < 0:
             raise ValueError("new_page_fraction must be non-negative")
+        if self.change_model is not None:
+            factory = CHANGE_MODELS.get(self.change_model)
+            self._validate_change_model_params(factory)
+
+    def _validate_change_model_params(self, factory: type) -> None:
+        """Reject unknown factory parameters instead of silently dropping them."""
+        params = self.change_model_params or {}
+        try:
+            signature = inspect.signature(factory)
+        except (TypeError, ValueError):  # pragma: no cover - builtins only
+            return
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in signature.parameters.values()):
+            return
+        unknown = sorted(set(params) - set(signature.parameters))
+        if unknown:
+            accepted = ", ".join(
+                name for name in signature.parameters if name != "self"
+            ) or "(none)"
+            raise ValueError(
+                f"unknown change_model_params {unknown} for change model "
+                f"{self.change_model!r}; accepted parameters: {accepted}"
+            )
+
+    def sample_change_process(
+        self, profile: DomainProfile, rng: np.random.Generator
+    ) -> ChangeProcess:
+        """Draw a page's change process: override model or domain mixture."""
+        if self.change_model is None:
+            return profile.sample_change_process(rng)
+        # Params were validated against the factory signature up front, so
+        # the per-page call is a plain constructor invocation.
+        return CHANGE_MODELS.get(self.change_model)(
+            **(self.change_model_params or {})
+        )
 
     def effective_window_size(self) -> int:
         """The window size actually used (defaults to ``pages_per_site``)."""
@@ -140,7 +186,7 @@ def _generate_site(
         depth=0,
         created_at=0.0,
         lifespan=None,
-        change_process=profile.sample_change_process(rng),
+        change_process=config.sample_change_process(profile, rng),
         config=config,
         rng=rng,
     )
@@ -161,7 +207,7 @@ def _generate_site(
             depth=1,
             created_at=created_at,
             lifespan=lifespan,
-            change_process=profile.sample_change_process(rng),
+            change_process=config.sample_change_process(profile, rng),
             config=config,
             rng=rng,
         )

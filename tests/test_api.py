@@ -1,0 +1,369 @@
+"""Tests for the declarative experiment API (repro.api)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    CHANGE_MODELS,
+    ESTIMATORS,
+    REVISIT_POLICIES,
+    SCENARIOS,
+    CrawlerSpec,
+    ExperimentSpec,
+    PolicySpec,
+    Registry,
+    ScenarioMatrix,
+    UnknownEntryError,
+    WebSpec,
+    register_scenario,
+    run,
+    run_matrix,
+)
+
+TINY_WEB = WebSpec(site_scale=0.03, pages_per_site=8, horizon_days=30.0, seed=3)
+TINY_CRAWL = ExperimentSpec(
+    name="tiny-crawl",
+    kind="crawl",
+    web=TINY_WEB,
+    crawler=CrawlerSpec(
+        kind="incremental",
+        collection_capacity=25,
+        crawl_budget_per_day=80.0,
+        duration_days=5.0,
+        measurement_interval_days=1.0,
+    ),
+    policy=PolicySpec(revisit_policy="optimal", estimator="ep"),
+)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert {"uniform", "proportional", "optimal"} <= set(REVISIT_POLICIES.names())
+        assert {"ep", "eb"} <= set(ESTIMATORS.names())
+        assert {"poisson", "periodic", "bursty", "never"} <= set(CHANGE_MODELS.names())
+        assert {"table2", "sensitivity", "figure7", "figure8",
+                "revisit-policies"} <= set(SCENARIOS.names())
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(UnknownEntryError) as excinfo:
+            REVISIT_POLICIES.get("bogus")
+        message = str(excinfo.value)
+        assert "'bogus'" in message
+        for name in ("uniform", "proportional", "optimal"):
+            assert name in message
+
+    def test_unknown_entry_error_is_a_value_error(self):
+        assert issubclass(UnknownEntryError, ValueError)
+
+    def test_create_filters_unsupported_kwargs(self):
+        # Only the optimal policy understands use_importance; the others
+        # must still be constructible through the same call.
+        for name in ("uniform", "proportional", "optimal"):
+            policy = REVISIT_POLICIES.create(name, use_importance=True)
+            assert policy is not None
+
+    def test_custom_registration_and_override(self):
+        registry = Registry("widget")
+
+        @registry.register("one")
+        def make_one():
+            return 1
+
+        assert registry.create("one") == 1
+        registry.register("one", lambda: 2)
+        assert registry.create("one") == 2
+        assert "one" in registry and len(registry) == 1
+
+
+class TestSpecValidation:
+    def test_unknown_revisit_policy(self):
+        with pytest.raises(UnknownEntryError, match="optimal"):
+            PolicySpec(revisit_policy="bogus")
+
+    def test_unknown_estimator(self):
+        with pytest.raises(UnknownEntryError, match="'ep'"):
+            PolicySpec(estimator="bogus")
+
+    def test_unknown_change_model(self):
+        with pytest.raises(UnknownEntryError, match="poisson"):
+            WebSpec(change_model="bogus")
+
+    def test_misspelled_change_model_params_rejected(self):
+        with pytest.raises(ValueError, match="phse"):
+            WebSpec(change_model="periodic",
+                    change_model_params={"interval": 5.0, "phse": 2.0})
+
+    def test_unknown_scenario(self):
+        with pytest.raises(UnknownEntryError, match="table2"):
+            ExperimentSpec(name="x", kind="scenario", scenario="bogus")
+
+    def test_unknown_experiment_kind(self):
+        with pytest.raises(ValueError, match="scenario"):
+            ExperimentSpec(name="x", kind="bogus")
+
+    def test_crawl_requires_web_and_crawler(self):
+        with pytest.raises(ValueError, match="web"):
+            ExperimentSpec(name="x", kind="crawl")
+        with pytest.raises(ValueError, match="crawler"):
+            ExperimentSpec(name="x", kind="crawl", web=TINY_WEB)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError) as excinfo:
+            ExperimentSpec.from_dict({"name": "x", "kind": "crawl", "bogus": 1})
+        message = str(excinfo.value)
+        assert "bogus" in message and "scenario" in message
+
+    def test_params_must_be_json_serializable(self):
+        with pytest.raises(ValueError, match="JSON"):
+            ExperimentSpec(name="x", kind="scenario", scenario="table2",
+                           params={"f": object()})
+
+
+class TestSpecRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        spec = TINY_CRAWL
+        rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.spec_hash() == spec.spec_hash()
+
+    def test_json_round_trip_is_identity(self):
+        spec = ExperimentSpec(
+            name="scenario", kind="scenario", scenario="table2",
+            params={"n_pages": 40, "n_cycles": 2}, seed=5,
+        )
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_hash_changes_with_content(self):
+        spec = TINY_CRAWL
+        assert spec.replace(seed=1).spec_hash() != spec.spec_hash()
+        assert spec.replace(web=TINY_WEB.replace(seed=4)).spec_hash() != spec.spec_hash()
+
+    def test_round_tripped_spec_runs_identically(self):
+        spec = TINY_CRAWL
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        first = run(spec)
+        second = run(rebuilt)
+        assert first.spec_hash == second.spec_hash
+        assert first.summary == second.summary
+        assert first.series == second.series
+
+
+class TestRunner:
+    def test_crawl_result_structure_and_provenance(self):
+        result = run(TINY_CRAWL)
+        assert result.kind == "crawl"
+        assert result.seed == TINY_WEB.seed
+        assert result.spec_hash == TINY_CRAWL.spec_hash()
+        assert result.summary["pages_crawled"] > 0
+        assert len(result.series["times"]) == len(result.series["freshness"])
+        payload = json.loads(result.to_json())
+        assert payload["provenance"]["spec_hash"] == TINY_CRAWL.spec_hash()
+        assert payload["provenance"]["seed"] == TINY_WEB.seed
+        assert "artifacts" not in payload
+        assert {"web", "crawler", "outcome"} <= set(result.artifacts)
+
+    def test_run_level_seed_overrides_web_seed(self):
+        seeded = run(TINY_CRAWL.replace(seed=41))
+        assert seeded.seed == 41
+        baseline = run(TINY_CRAWL)
+        assert seeded.summary != baseline.summary or \
+            seeded.series != baseline.series
+
+    def test_periodic_crawl(self):
+        spec = TINY_CRAWL.replace(
+            crawler=TINY_CRAWL.crawler.replace(kind="periodic", cycle_days=2.0),
+            policy=None,
+        )
+        result = run(spec)
+        assert result.summary["mode"] == "periodic"
+        assert result.summary["cycles_completed"] >= 1
+
+    def test_scenario_run_matches_direct_call(self):
+        spec = ExperimentSpec(
+            name="t2", kind="scenario", scenario="table2",
+            params={"n_pages": 40, "n_cycles": 2, "simulate": True},
+        )
+        result = run(spec)
+        direct = SCENARIOS.get("table2")(n_pages=40, n_cycles=2, simulate=True)
+        assert result.tables == {
+            key: value for key, value in direct["tables"].items()
+        }
+
+    def test_scenario_rejects_unknown_params(self):
+        spec = ExperimentSpec(
+            name="t2", kind="scenario", scenario="table2", params={"bogus": 1}
+        )
+        with pytest.raises(ValueError, match="bogus"):
+            run(spec)
+
+    def test_monitor_run(self):
+        spec = ExperimentSpec(
+            name="mon", kind="monitor", web=TINY_WEB, params={"end_day": 15}
+        )
+        result = run(spec)
+        assert result.summary["n_pages"] > 0
+        assert set(result.tables["change_interval_fractions"]) > set()
+        json.dumps(result.to_dict())
+
+    def test_monitor_rejects_unknown_params(self):
+        spec = ExperimentSpec(
+            name="mon", kind="monitor", web=TINY_WEB, params={"bogus": 1}
+        )
+        with pytest.raises(ValueError, match="bogus"):
+            run(spec)
+
+    def test_monitor_selection_seed_alone_triggers_selection(self):
+        spec = ExperimentSpec(
+            name="mon", kind="monitor", web=TINY_WEB,
+            params={"end_day": 10, "selection_seed": 3},
+        )
+        result = run(spec)
+        assert result.tables["monitored_sites_per_domain"] is not None
+
+    def test_run_level_seed_skipped_for_seedless_scenarios(self):
+        # "sensitivity" takes no seed parameter; a run-level seed must not
+        # be forwarded to it.
+        result = run(ExperimentSpec(
+            name="s", kind="scenario", scenario="sensitivity", seed=3
+        ))
+        assert result.tables["analytic"]
+        assert result.seed == 3
+
+    def test_run_level_seed_forwarded_to_seeded_scenarios(self):
+        seeded = run(ExperimentSpec(
+            name="t", kind="scenario", scenario="table2",
+            params={"n_pages": 40, "n_cycles": 2}, seed=99,
+        ))
+        direct = SCENARIOS.get("table2")(n_pages=40, n_cycles=2, seed=99)
+        assert seeded.tables["simulated"] == direct["tables"]["simulated"]
+
+    def test_custom_policy_works_in_revisit_policies_scenario(self):
+        from repro.freshness.policies import UniformRevisitPolicy
+
+        REVISIT_POLICIES.register("test-flat", UniformRevisitPolicy)
+        try:
+            result = run(ExperimentSpec(
+                name="custom", kind="scenario", scenario="revisit-policies",
+                params={"policy": ["uniform", "test-flat"], "n_pages": 40,
+                        "simulate": False},
+            ))
+            analytic = result.tables["analytic"]
+            assert analytic["test-flat"] == analytic["uniform"]
+        finally:
+            REVISIT_POLICIES._entries.pop("test-flat", None)
+
+    def test_unknown_policy_in_scenario_lists_choices(self):
+        spec = ExperimentSpec(
+            name="bad", kind="scenario", scenario="revisit-policies",
+            params={"policy": "bogus", "simulate": False},
+        )
+        with pytest.raises(UnknownEntryError, match="uniform"):
+            run(spec)
+
+    def test_change_model_override_builds_clockwork_web(self):
+        from repro.api import build_web
+
+        web = build_web(TINY_WEB.replace(
+            change_model="periodic", change_model_params={"interval": 5.0}
+        ))
+        rates = {page.change_process.mean_rate for page in web.pages()}
+        assert rates == {1.0 / 5.0}
+
+
+class TestScenarioMatrix:
+    def test_cells_cross_product_and_names(self):
+        matrix = ScenarioMatrix(
+            base=TINY_CRAWL,
+            axes={"seed": [1, 2], "crawler.duration_days": [3.0, 4.0]},
+        )
+        cells = matrix.cells()
+        assert len(cells) == 4
+        assignments = [assignment for assignment, _ in cells]
+        assert {"seed", "crawler.duration_days"} == set(assignments[0])
+        names = {spec.name for _, spec in cells}
+        assert len(names) == 4
+
+    def test_invalid_axis_path(self):
+        with pytest.raises(ValueError, match="axis"):
+            ScenarioMatrix(base=TINY_CRAWL, axes={"nope.field": [1]})
+
+    def test_matrix_shares_webs_and_runs_cells(self):
+        matrix = ScenarioMatrix(
+            base=TINY_CRAWL,
+            axes={"crawler.duration_days": [3.0, 5.0]},
+        )
+        result = run_matrix(matrix)
+        assert len(result.cells) == 2
+        # Cells share the web spec and seed, so they crawl the same web.
+        assert result.cells[0].artifacts["web"] is result.cells[1].artifacts["web"]
+        json.dumps(result.to_dict())
+
+    def test_batched_scenario_axis_single_call(self):
+        calls = []
+
+        @register_scenario("test-batch")
+        def scenario(value=("a",)):
+            values = [value] if isinstance(value, str) else list(value)
+            calls.append(values)
+            return {
+                "summary": {"values": values},
+                "cells": [{"summary": {"value": v}} for v in values],
+            }
+
+        scenario.batch_param = "value"
+        try:
+            matrix = ScenarioMatrix(
+                base=ExperimentSpec(name="b", kind="scenario", scenario="test-batch"),
+                axes={"params.value": ["x", "y", "z"]},
+            )
+            result = run_matrix(matrix)
+        finally:
+            SCENARIOS._entries.pop("test-batch", None)
+        assert calls == [["x", "y", "z"]]  # one batched call, not three
+        assert [cell.summary["value"] for cell in result.cells] == ["x", "y", "z"]
+
+    def test_batched_matrix_matches_per_cell_runs(self):
+        base = ExperimentSpec(
+            name="sweep", kind="scenario", scenario="revisit-policies",
+            params={"n_pages": 60, "simulate": False},
+        )
+        matrix = ScenarioMatrix(
+            base=base, axes={"params.policy": ["uniform", "optimal"]}
+        )
+        batched = run_matrix(matrix)
+        for cell, name in zip(batched.cells, ["uniform", "optimal"]):
+            single = run(base.replace(params={**base.params, "policy": name}))
+            assert cell.tables["analytic"] == single.tables["analytic"]
+
+
+class TestRegistryDispatchSites:
+    """The former string-literal dispatch sites resolve via the registries."""
+
+    def test_crawler_config_unknown_policy_lists_choices(self):
+        from repro.core.incremental_crawler import IncrementalCrawlerConfig
+
+        with pytest.raises(ValueError) as excinfo:
+            IncrementalCrawlerConfig(revisit_policy="bogus")
+        assert "optimal" in str(excinfo.value)
+
+    def test_update_module_config_unknown_estimator_lists_choices(self):
+        from repro.core.update_module import UpdateModuleConfig
+
+        with pytest.raises(ValueError) as excinfo:
+            UpdateModuleConfig(estimator="bogus")
+        assert "'ep'" in str(excinfo.value)
+
+    def test_custom_revisit_policy_reaches_the_crawler(self):
+        from repro.core.incremental_crawler import IncrementalCrawlerConfig
+        from repro.freshness.policies import UniformRevisitPolicy
+
+        class EagerPolicy(UniformRevisitPolicy):
+            pass
+
+        REVISIT_POLICIES.register("test-eager", EagerPolicy)
+        try:
+            config = IncrementalCrawlerConfig(revisit_policy="test-eager")
+            assert isinstance(config.build_revisit_policy(), EagerPolicy)
+        finally:
+            REVISIT_POLICIES._entries.pop("test-eager", None)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -68,3 +70,86 @@ class TestCommands:
         ) == 0
         output = capsys.readouterr().out
         assert "periodic" in output
+
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("table2", "figure7", "revisit-policies",
+                     "optimal", "ep", "poisson"):
+            assert name in output
+
+    def test_run_spec_crawl(self, tmp_path, capsys):
+        spec = {
+            "name": "test/crawl",
+            "kind": "crawl",
+            "web": {"site_scale": 0.03, "pages_per_site": 10,
+                    "horizon_days": 30.0, "seed": 3},
+            "crawler": {"kind": "incremental", "collection_capacity": 25,
+                        "crawl_budget_per_day": 80.0, "duration_days": 4.0},
+            "policy": {"revisit_policy": "optimal", "estimator": "ep"},
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        assert main(["run-spec", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "test/crawl"
+        assert payload["provenance"]["seed"] == 3
+        assert len(payload["provenance"]["spec_hash"]) == 64
+        assert payload["summary"]["pages_crawled"] > 0
+
+    def test_run_spec_scenario_writes_out_file(self, tmp_path, capsys):
+        spec = {"name": "test/table2", "kind": "scenario", "scenario": "table2",
+                "params": {"n_pages": 30, "n_cycles": 2}}
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        out = tmp_path / "result.json"
+        assert main(["run-spec", str(path), "--out", str(out), "--compact"]) == 0
+        payload = json.loads(out.read_text())
+        assert "steady / in-place" in payload["tables"]["analytic"]
+        assert payload["provenance"]["spec_hash"]
+
+    def test_run_spec_invalid_spec_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "kind": "scenario",
+                                    "scenario": "bogus"}))
+        assert main(["run-spec", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "bogus" in captured.err
+        assert "table2" in captured.err  # the error lists registered scenarios
+
+    def test_run_spec_wrongly_typed_field_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "typed.json"
+        path.write_text(json.dumps({
+            "name": "x", "kind": "crawl",
+            "web": {"site_scale": "0.05"},   # quoted number
+            "crawler": {"kind": "incremental"},
+        }))
+        assert main(["run-spec", str(path)]) == 2
+        assert "invalid experiment spec" in capsys.readouterr().err
+
+    def test_run_spec_bad_scenario_params_fail_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad_params.json"
+        path.write_text(json.dumps({"name": "x", "kind": "scenario",
+                                    "scenario": "sensitivity",
+                                    "params": {"bogus": 1}}))
+        assert main(["run-spec", str(path)]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_every_subcommand_smokes(self, capsys, tmp_path):
+        """Each subcommand exits 0 and prints something on a tiny web."""
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(
+            {"name": "smoke", "kind": "scenario", "scenario": "sensitivity"}
+        ))
+        invocations = [
+            FAST_WEB_ARGS + ["web-stats"],
+            FAST_WEB_ARGS + ["run-experiment", "--days", "15"],
+            FAST_WEB_ARGS + ["run-crawler", "--capacity", "30", "--budget", "90",
+                             "--duration", "5"],
+            ["compare-policies"],
+            ["run-spec", str(spec_path)],
+            ["list-scenarios"],
+        ]
+        for argv in invocations:
+            assert main(argv) == 0, f"{argv} failed"
+            assert capsys.readouterr().out.strip(), f"{argv} printed nothing"
