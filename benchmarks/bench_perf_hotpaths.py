@@ -12,7 +12,11 @@ Kernels covered:
 * ``simulate_crawl_policy`` — the Table 2 / Figures 7-8 policy simulator;
 * ``optimal_revisit_frequencies`` — the KKT water-level allocation solver;
 * ``collection_freshness`` + ``collection_age`` — the batched-oracle
-  measurement path used by every crawler measurement event.
+  measurement path used by every crawler measurement event;
+* ``incremental_crawler_run`` — the end-to-end Figure 12 crawl loop:
+  the batched tick-window engine against the pinned per-URL reference
+  engine on the same web, with bit-identical counters and freshness
+  series required.
 
 Usage::
 
@@ -37,6 +41,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.core.incremental_crawler import (  # noqa: E402
+    IncrementalCrawler,
+    IncrementalCrawlerConfig,
+)
 from repro.freshness.metrics import (  # noqa: E402
     collection_age,
     collection_age_reference,
@@ -206,6 +214,61 @@ def bench_collection_metrics(n_records: int, n_instants: int) -> Dict:
     }
 
 
+def bench_incremental_crawler(n_pages: int, duration_days: float) -> Dict:
+    """End-to-end Figure 12 crawl loop: batched engine vs per-URL reference.
+
+    Both engines run the full incremental crawler — steady crawl events,
+    EP estimation, optimal revisit reallocation, freshness measurement —
+    over the same synthetic web and must produce bit-identical counters
+    and freshness series. Ranking is configured out of the steady state
+    (one initial scan) so the kernel isolates the crawl loop itself.
+    """
+
+    def run(engine: str):
+        # The helper draws page lifespans from uniform(50, horizon), so the
+        # horizon must clear that even for short quick-mode runs.
+        web = _build_synthetic_web(n_pages, horizon=max(duration_days + 20.0, 60.0))
+        config = IncrementalCrawlerConfig(
+            collection_capacity=n_pages,
+            crawl_budget_per_day=2.0 * n_pages,
+            revisit_policy="optimal",
+            estimator="ep",
+            engine=engine,
+            ranking_interval_days=duration_days * 10.0,
+            measurement_interval_days=0.5,
+            track_quality=False,
+        )
+        crawler = IncrementalCrawler(web, config, seed_urls=list(web.urls()))
+        return crawler.run(duration_days)
+
+    vec_seconds, vec = _timed(lambda: run("batched"))
+    ref_seconds, ref = _timed(lambda: run("reference"))
+    counters_match = (
+        vec.pages_crawled == ref.pages_crawled
+        and vec.pages_failed == ref.pages_failed
+        and vec.changes_detected == ref.changes_detected
+        and vec.pages_replaced == ref.pages_replaced
+    )
+    series_match = (
+        vec.freshness.times == ref.freshness.times
+        and vec.freshness.freshness == ref.freshness.freshness
+    )
+    # Bit-identical or bust: report a sentinel delta the gate trips on.
+    delta = 0.0 if (counters_match and series_match) else 1.0
+    return {
+        "kernel": "incremental_crawler_run",
+        "params": {
+            "n_pages": n_pages,
+            "duration_days": duration_days,
+            "pages_crawled": ref.pages_crawled,
+        },
+        "ref_seconds": ref_seconds,
+        "vec_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "max_abs_delta": delta,
+    }
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -229,6 +292,7 @@ def main(argv: List[str] = None) -> int:
             lambda: bench_crawl_policy(n_pages=600, n_cycles=4),
             lambda: bench_optimal_allocation(n_pages=400),
             lambda: bench_collection_metrics(n_records=2000, n_instants=5),
+            lambda: bench_incremental_crawler(n_pages=1500, duration_days=12.0),
         ]
     else:
         jobs = [
@@ -236,6 +300,7 @@ def main(argv: List[str] = None) -> int:
             lambda: bench_crawl_policy(n_pages=10_000, n_cycles=10),
             lambda: bench_optimal_allocation(n_pages=10_000),
             lambda: bench_collection_metrics(n_records=20_000, n_instants=20),
+            lambda: bench_incremental_crawler(n_pages=10_000, duration_days=100.0),
         ]
 
     results = []

@@ -156,6 +156,7 @@ def _run_crawl(spec: ExperimentSpec, web: Optional[SimulatedWeb]) -> _RunPayload
                 default_revisit_interval_days=crawler_spec.default_revisit_interval_days,
                 track_quality=crawler_spec.track_quality,
                 use_politeness=crawler_spec.use_politeness,
+                engine=crawler_spec.engine,
             ),
         )
     else:
@@ -167,6 +168,7 @@ def _run_crawl(spec: ExperimentSpec, web: Optional[SimulatedWeb]) -> _RunPayload
                 cycle_days=crawler_spec.cycle_days,
                 measurement_interval_days=crawler_spec.measurement_interval_days,
                 track_quality=crawler_spec.track_quality,
+                engine=crawler_spec.engine,
             ),
         )
     outcome = crawler.run(crawler_spec.duration_days, start_time=crawler_spec.start_time)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
 
 from repro.api.registry import ESTIMATORS, REVISIT_POLICIES
+from repro.core.incremental_crawler import CRAWL_ENGINES
 from repro.simweb.generator import WebGeneratorConfig
 
 SpecT = TypeVar("SpecT", bound="_SpecBase")
@@ -223,7 +224,11 @@ class CrawlerSpec(_SpecBase):
         default_revisit_interval_days: Interval assumed before a page has a
             change history (incremental only).
         track_quality: Also sample collection quality.
-        use_politeness: Apply per-site politeness delays (incremental only).
+        use_politeness: Apply per-site politeness delays (incremental only;
+            forces the reference engine).
+        engine: Crawl-loop engine — ``"batched"`` (tick-window batching,
+            the default) or ``"reference"`` (the pinned per-URL path).
+            Both engines produce bit-identical results.
     """
 
     kind: str = "incremental"
@@ -238,10 +243,13 @@ class CrawlerSpec(_SpecBase):
     default_revisit_interval_days: float = 7.0
     track_quality: bool = True
     use_politeness: bool = False
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         if self.kind not in CRAWLER_KINDS:
             raise _unknown_choice("crawler kind", self.kind, CRAWLER_KINDS)
+        if self.engine not in CRAWL_ENGINES:
+            raise _unknown_choice("crawl engine", self.engine, CRAWL_ENGINES)
         if self.duration_days <= 0:
             raise ValueError("duration_days must be positive")
         if self.start_time < 0:

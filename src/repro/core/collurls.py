@@ -9,22 +9,49 @@ collection.
 
 The implementation is a binary heap keyed by ``(scheduled_time, sequence)``
 with lazy deletion, so pushes, pops and removals are all logarithmic.
+Ordering among entries that share a scheduled time is resolved purely by
+the sequence number — front-of-queue placement uses a *negative* sequence
+counter instead of nudging times by epsilons, which keeps bulk scheduling
+collision-safe: identical times never collide ambiguously and no float
+granularity games are needed.
+
+Besides the scalar operations there is a bulk interface —
+:meth:`pop_due` / :meth:`schedule_many` / :meth:`restore` — used by the
+batched crawl engine to drain and refill all crawl slots of a tick window
+in a handful of calls instead of one heap round-trip per fetched page.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Tuple
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: A queue entry as returned by :meth:`CollUrls.pop_due`:
+#: ``(scheduled_time, sequence, url)`` — the heap's native key layout, so
+#: bulk pops hand entries over without re-packing, and the sequence makes an
+#: entry restorable at its exact original queue position.
+QueueEntry = Tuple[float, int, str]
 
 
 class CollUrls:
-    """Priority queue of URLs ordered by their scheduled visit time."""
+    """Priority queue of URLs ordered by ``(scheduled_time, sequence)``.
+
+    The URL-to-entry map stores the *same tuple object* that sits in the
+    heap, so staleness checks during lazy deletion are identity comparisons
+    rather than tuple comparisons.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, str]] = []
-        self._scheduled: Dict[str, Tuple[float, int]] = {}
+        self._heap: List[QueueEntry] = []
+        self._scheduled: Dict[str, QueueEntry] = {}
         self._counter = itertools.count()
+        # Front-of-queue entries take sequence numbers from a *decreasing*
+        # negative counter: the most recently admitted page is crawled first
+        # (the paper's "placed on the top of CollUrls"), deterministically
+        # and without perturbing any scheduled time.
+        self._front_counter = itertools.count(-1, -1)
 
     def __contains__(self, url: str) -> bool:
         return url in self._scheduled
@@ -36,22 +63,52 @@ class CollUrls:
         """Insert ``url`` with the given visit time (rescheduling if present).
 
         Rescheduling replaces the previous entry; the old heap entry is
-        invalidated lazily.
+        invalidated lazily. Entries scheduled at the same time keep their
+        scheduling order (sequence numbers are the tie-break).
         """
-        sequence = next(self._counter)
-        self._scheduled[url] = (visit_time, sequence)
-        heapq.heappush(self._heap, (visit_time, sequence, url))
+        entry = (visit_time, next(self._counter), url)
+        self._scheduled[url] = entry
+        heapq.heappush(self._heap, entry)
+
+    def schedule_many(self, urls: Sequence[str], visit_times: Sequence[float]) -> None:
+        """Bulk :meth:`schedule`: one call for a whole batch of reschedules.
+
+        Equivalent to calling :meth:`schedule` once per ``(url, time)`` pair
+        in order — including the sequence-number assignment, so ties between
+        equal times resolve identically.
+        """
+        if len(urls) != len(visit_times):
+            raise ValueError("urls and visit_times must have the same length")
+        counter = self._counter
+        scheduled = self._scheduled
+        heap = self._heap
+        if len(urls) * 8 > len(heap):
+            for url, visit_time in zip(urls, visit_times):
+                entry = (visit_time, next(counter), url)
+                scheduled[url] = entry
+                heap.append(entry)
+            heapq.heapify(heap)
+        else:
+            for url, visit_time in zip(urls, visit_times):
+                entry = (visit_time, next(counter), url)
+                scheduled[url] = entry
+                heapq.heappush(heap, entry)
 
     def schedule_front(self, url: str, now: float) -> None:
         """Place ``url`` at the very front of the queue.
 
         The RankingModule uses this for newly admitted pages: "The URL for
         this new page is placed on the top of CollUrls, so that the
-        UpdateModule can crawl the page immediately."
+        UpdateModule can crawl the page immediately." Front entries share
+        the current head's scheduled time and win the tie through a negative
+        sequence number (later admissions first), so repeated admissions
+        never rely on float-epsilon nudges that could collide.
         """
         head_time = self.peek_time()
         front_time = now if head_time is None else min(now, head_time)
-        self.schedule(url, front_time - 1e-9)
+        entry = (front_time, next(self._front_counter), url)
+        self._scheduled[url] = entry
+        heapq.heappush(self._heap, entry)
 
     def pop(self) -> Optional[Tuple[str, float]]:
         """Remove and return ``(url, scheduled_time)`` of the earliest entry.
@@ -59,23 +116,80 @@ class CollUrls:
         Returns ``None`` when the queue is empty.
         """
         while self._heap:
-            visit_time, sequence, url = heapq.heappop(self._heap)
-            current = self._scheduled.get(url)
-            if current is None or current != (visit_time, sequence):
+            entry = heapq.heappop(self._heap)
+            url = entry[2]
+            if self._scheduled.get(url) is not entry:
                 continue
             del self._scheduled[url]
-            return url, visit_time
+            return url, entry[0]
         return None
+
+    def pop_due(
+        self, until: float = math.inf, max_n: Optional[int] = None
+    ) -> List[QueueEntry]:
+        """Pop up to ``max_n`` entries scheduled at or before ``until``.
+
+        Entries come out in exact queue order — ``(scheduled_time,
+        sequence)`` ascending — i.e. the same sequence of URLs that repeated
+        :meth:`pop` calls would produce. The batched crawl engine drains a
+        whole tick window with one call and puts any unconsumed tail back
+        with :meth:`restore`.
+
+        Args:
+            until: Only entries with ``scheduled_time <= until`` are popped
+                (the default pops regardless of time, matching :meth:`pop`,
+                which serves the head to every crawl slot even when it is
+                scheduled in the future).
+            max_n: Cap on the number of entries popped (``None`` = no cap).
+
+        Returns:
+            ``(scheduled_time, sequence, url)`` tuples, earliest first.
+        """
+        popped: List[QueueEntry] = []
+        append = popped.append
+        limit = len(self._scheduled) if max_n is None else max_n
+        heap = self._heap
+        scheduled = self._scheduled
+        heappop = heapq.heappop
+        while heap and len(popped) < limit:
+            entry = heap[0]
+            url = entry[2]
+            if scheduled.get(url) is not entry:
+                heappop(heap)
+                continue
+            if entry[0] > until:
+                break
+            heappop(heap)
+            del scheduled[url]
+            append(entry)
+        return popped
+
+    def restore(self, entries: Sequence[QueueEntry]) -> None:
+        """Reinsert entries popped by :meth:`pop_due` at their exact positions.
+
+        The original ``(scheduled_time, sequence)`` key is preserved, so the
+        restored entries resume the exact queue order they had before being
+        popped. Only valid for entries whose URLs have not been rescheduled
+        since they were popped.
+        """
+        for entry in entries:
+            url = entry[2]
+            if url in self._scheduled:
+                raise ValueError(
+                    f"cannot restore {url!r}: it has been rescheduled since"
+                )
+            self._scheduled[url] = entry
+            heapq.heappush(self._heap, entry)
 
     def peek(self) -> Optional[Tuple[str, float]]:
         """The earliest ``(url, scheduled_time)`` without removing it."""
         while self._heap:
-            visit_time, sequence, url = self._heap[0]
-            current = self._scheduled.get(url)
-            if current is None or current != (visit_time, sequence):
+            entry = self._heap[0]
+            url = entry[2]
+            if self._scheduled.get(url) is not entry:
                 heapq.heappop(self._heap)
                 continue
-            return url, visit_time
+            return url, entry[0]
         return None
 
     def peek_time(self) -> Optional[float]:
@@ -94,6 +208,10 @@ class CollUrls:
         """The currently scheduled visit time of ``url`` (``None`` if absent)."""
         entry = self._scheduled.get(url)
         return None if entry is None else entry[0]
+
+    def entry_for(self, url: str) -> Optional[QueueEntry]:
+        """The live ``(scheduled_time, sequence, url)`` entry (``None`` if absent)."""
+        return self._scheduled.get(url)
 
     def urls(self) -> List[str]:
         """All queued URLs (unordered)."""

@@ -11,7 +11,9 @@ because fetch latency is charged on the virtual clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Set
+
+import numpy as np
 
 from repro.core.allurls import AllUrls
 from repro.fetch.fetcher import FetchResult, SimulatedFetcher
@@ -43,6 +45,24 @@ class CrawlOutcome:
     completed_at: float
 
 
+@dataclass
+class BatchCrawlOutcome:
+    """What happened when the CrawlModule processed a batch of URLs.
+
+    Per-index sequences aligned with ``urls``; the semantics of each flag
+    match the scalar :class:`CrawlOutcome` field of the same name. Flag
+    sequences are plain lists (they are consumed element-wise on the hot
+    path); the time columns stay NumPy arrays.
+    """
+
+    urls: Sequence[str]
+    requested_at: np.ndarray
+    completed_at: np.ndarray
+    stored: Sequence[bool]
+    changed: Sequence[bool]
+    was_new: Sequence[bool]
+
+
 class CrawlModule:
     """Fetches pages on request and maintains the collection and AllUrls.
 
@@ -63,11 +83,24 @@ class CrawlModule:
         self._allurls = allurls
         self.pages_fetched = 0
         self.pages_failed = 0
+        # Batched-path bookkeeping. ``_stored_versions`` maps a stored URL to
+        # the oracle version its record was built from, so an unchanged
+        # re-fetch skips body materialisation and checksum hashing entirely.
+        # ``_links_recorded`` marks URLs whose (constant) out-links have been
+        # forwarded to AllUrls at least once; later forwards are no-ops in
+        # the scalar path and are skipped outright in the batched one.
+        self._stored_versions: Dict[str, int] = {}
+        self._links_recorded: Set[str] = set()
 
     @property
     def collection(self) -> Collection:
         """The collection this module stores pages into."""
         return self._collection
+
+    @property
+    def fetcher(self) -> SimulatedFetcher:
+        """The fetch substrate (exposed for the batched crawl engine)."""
+        return self._fetcher
 
     def crawl(self, url: str, at: float) -> CrawlOutcome:
         """Fetch ``url`` at virtual time ``at``, store it and forward links.
@@ -133,6 +166,111 @@ class CrawlModule:
             completed_at=result.completed_at,
         )
 
+    def crawl_many(self, urls: Sequence[str], times: Sequence[float]) -> BatchCrawlOutcome:
+        """Process a batch of URLs: one oracle pass, then bulk store/forward.
+
+        Equivalent to calling :meth:`crawl` once per ``(url, time)`` pair in
+        order — the same counters, stored records and AllUrls state — but
+        the fetches resolve through :meth:`SimulatedFetcher.fetch_many`,
+        change detection compares content *versions* instead of re-hashing
+        bodies, unchanged re-fetches reuse the stored body verbatim, and
+        link forwarding is skipped once a page's constant out-links have
+        been recorded.
+
+        Args:
+            urls: URLs to crawl (distinct within one batch).
+            times: Virtual time each crawl is issued, aligned with ``urls``.
+
+        Returns:
+            A :class:`BatchCrawlOutcome` with per-URL flags.
+        """
+        fetch = self._fetcher.fetch_many(urls, times)
+        n = len(fetch.urls)
+        changed = [False] * n
+        was_new = [False] * n
+        ok = fetch.ok.tolist()
+        n_ok = sum(ok)
+        self.pages_fetched += n_ok
+        self.pages_failed += n - n_ok
+
+        collection = self._collection
+        allurls = self._allurls
+        stored_versions = self._stored_versions
+        links_recorded = self._links_recorded
+        versions = fetch.versions.tolist()
+        completed = fetch.completed_at.tolist()
+        requested = fetch.requested_at.tolist()
+        for i, (url, ok_i, version_i, completed_i, requested_i) in enumerate(
+            zip(fetch.urls, ok, versions, completed, requested)
+        ):
+            if not ok_i:
+                allurls.record_failure(url, requested_i)
+                was_new[i] = collection.get_working(url) is None
+                continue
+            if url not in links_recorded:
+                allurls.add(url, discovered_at=completed_i)
+                allurls.record_links(url, self._fetcher.outlinks_of(url), completed_i)
+                links_recorded.add(url)
+            existing = collection.get_working(url)
+            if existing is None:
+                content, checksum = self._fetcher.content_for(url, version_i)
+                collection.store(
+                    PageRecord(
+                        url=url,
+                        content=content,
+                        checksum=checksum,
+                        fetched_at=completed_i,
+                        first_fetched_at=completed_i,
+                        outlinks=tuple(self._fetcher.outlinks_of(url)),
+                    )
+                )
+                changed[i] = True
+                was_new[i] = True
+            elif stored_versions.get(url) == version_i:
+                # Unchanged re-fetch of a page this module stored: every
+                # field except the fetch bookkeeping keeps its value, so
+                # the stored record is refreshed in place. Field values
+                # end up identical to the scalar path's replacement copy;
+                # only the object identity differs.
+                existing.fetched_at = completed_i
+                existing.visit_count += 1
+            else:
+                previous_version = stored_versions.get(url)
+                content, checksum = self._fetcher.content_for(url, version_i)
+                if previous_version is None:
+                    # Stored through the scalar path: fall back to the
+                    # checksum comparison the scalar path would make.
+                    page_changed = existing.checksum != checksum
+                else:
+                    page_changed = True
+                # Direct construction of the refreshed record: equivalent to
+                # PageRecord.refreshed() (same fields, same validation) but
+                # without dataclasses.replace overhead on the hottest path.
+                collection.store(
+                    PageRecord(
+                        url=url,
+                        content=content,
+                        checksum=checksum,
+                        fetched_at=completed_i,
+                        first_fetched_at=existing.first_fetched_at,
+                        outlinks=tuple(self._fetcher.outlinks_of(url)),
+                        importance=existing.importance,
+                        visit_count=existing.visit_count + 1,
+                        change_count=existing.change_count + (1 if page_changed else 0),
+                    )
+                )
+                changed[i] = page_changed
+            stored_versions[url] = version_i
+        return BatchCrawlOutcome(
+            urls=fetch.urls,
+            requested_at=fetch.requested_at,
+            completed_at=fetch.completed_at,
+            stored=ok,
+            changed=changed,
+            was_new=was_new,
+        )
+
     def discard(self, url: str) -> Optional[PageRecord]:
         """Remove a page from the working collection (refinement decision)."""
+        self._stored_versions.pop(url, None)
         return self._collection.discard(url)

@@ -17,28 +17,47 @@ event queue:
 
 The collection is updated in place, so newly fetched copies are visible to
 users immediately — the left-hand column of Figure 10.
+
+Two execution engines drive the same architecture:
+
+* the **batched** engine (default) advances the run in *tick windows*
+  bounded by the next ranking/measurement event and drains all crawl slots
+  of a window through :meth:`UpdateModule.process_slots` — batched oracle
+  fetches, vectorized change detection, one bulk reschedule — while
+  replicating the event queue's ``(time, sequence)`` ordering exactly;
+* the **reference** engine processes one event per fetched page, exactly
+  as Figure 12 describes the per-URL control flow. It is pinned by the
+  parity suite (``tests/test_crawler_batched_parity.py``): both engines
+  produce bit-identical counters and freshness/quality series.
+
+Politeness delays are per-site sequential state the batched fetch path
+cannot yet honour, so ``use_politeness=True`` always runs the reference
+engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.api.registry import REVISIT_POLICIES
 from repro.core.allurls import AllUrls
 from repro.core.collurls import CollUrls
 from repro.core.crawl_module import CrawlModule
-from repro.core.quality import collection_quality, true_page_importance
+from repro.core.quality import CollectionQualityCache
 from repro.core.ranking_module import RankingModule, RankingModuleConfig
 from repro.core.update_module import UpdateModule, UpdateModuleConfig
 from repro.fetch.fetcher import SimulatedFetcher
 from repro.fetch.politeness import PolitenessPolicy
 from repro.freshness.policies import RevisitPolicy, build_revisit_policy
 from repro.simulation.clock import VirtualClock
-from repro.simulation.events import EventQueue
+from repro.simulation.events import EventQueue, StreamScheduler
 from repro.simulation.freshness_tracker import FreshnessTimeSeries, FreshnessTracker
 from repro.simweb.web import SimulatedWeb
 from repro.storage.collection import InPlaceCollection
+
+#: Engines :meth:`IncrementalCrawler.run` can execute with.
+CRAWL_ENGINES: Tuple[str, ...] = ("batched", "reference")
 
 
 @dataclass(frozen=True)
@@ -65,7 +84,11 @@ class IncrementalCrawlerConfig:
             change history yet.
         track_quality: Also sample collection quality (needs a ground-truth
             PageRank over the whole web, computed once at start-up).
-        use_politeness: Apply the per-site politeness delay to fetches.
+        use_politeness: Apply the per-site politeness delay to fetches
+            (forces the reference engine).
+        engine: ``"batched"`` (tick-window engine, the default) or
+            ``"reference"`` (one event per fetch, the pinned per-URL path).
+            Both produce bit-identical results.
     """
 
     collection_capacity: int = 500
@@ -80,6 +103,7 @@ class IncrementalCrawlerConfig:
     default_revisit_interval_days: float = 7.0
     track_quality: bool = True
     use_politeness: bool = False
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         if self.collection_capacity < 1:
@@ -91,6 +115,10 @@ class IncrementalCrawlerConfig:
             raise ValueError("ranking_interval_days must be positive")
         if self.measurement_interval_days <= 0:
             raise ValueError("measurement_interval_days must be positive")
+        if self.engine not in CRAWL_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choices: {', '.join(CRAWL_ENGINES)}"
+            )
 
     def build_revisit_policy(self) -> RevisitPolicy:
         """Instantiate the configured revisit policy through the registry."""
@@ -181,7 +209,7 @@ class IncrementalCrawler:
             RankingModuleConfig(importance_metric=self._config.importance_metric),
             capacity=self._config.collection_capacity,
         )
-        self._true_importance: Optional[Dict[str, float]] = None
+        self._quality_cache: Optional[CollectionQualityCache] = None
 
     # ------------------------------------------------------------------ #
     # Accessors (useful for tests and examples)
@@ -217,6 +245,11 @@ class IncrementalCrawler:
     def run(self, duration_days: float, start_time: float = 0.0) -> CrawlRunResult:
         """Run the crawler for ``duration_days`` of virtual time.
 
+        Dispatches to the engine named by the configuration: the batched
+        tick-window engine by default, or the per-URL reference loop.
+        Politeness requires per-fetch sequencing and always runs the
+        reference engine. Both engines yield bit-identical results.
+
         Args:
             duration_days: How long to run.
             start_time: Virtual time at which the run starts.
@@ -229,8 +262,6 @@ class IncrementalCrawler:
             raise ValueError("duration_days must be positive")
         end_time = min(start_time + duration_days, self._web.horizon_days)
 
-        clock = VirtualClock(start_time)
-        queue = EventQueue(clock)
         tracker = FreshnessTracker(
             self._web,
             self._collection,
@@ -240,6 +271,30 @@ class IncrementalCrawler:
 
         self._bootstrap(start_time)
 
+        if self._config.engine == "batched" and not self._config.use_politeness:
+            self._run_batched(start_time, end_time, tracker, result)
+        else:
+            self._run_reference(start_time, end_time, tracker, result)
+
+        result.pages_crawled = self._crawl_module.pages_fetched
+        result.pages_failed = self._crawl_module.pages_failed
+        result.changes_detected = self._update_module.changes_detected
+        result.pages_replaced = self._ranking_module.pages_replaced
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Engines
+    # ------------------------------------------------------------------ #
+    def _run_reference(
+        self,
+        start_time: float,
+        end_time: float,
+        tracker: FreshnessTracker,
+        result: CrawlRunResult,
+    ) -> None:
+        """The pinned per-URL engine: one event queue callback per fetch."""
+        clock = VirtualClock(start_time)
+        queue = EventQueue(clock)
         crawl_period = 1.0 / self._config.crawl_budget_per_day
 
         def crawl_step(at: float) -> None:
@@ -266,29 +321,101 @@ class IncrementalCrawler:
         queue.schedule(start_time, measure_step, label="measure")
         queue.run_until(end_time)
 
-        result.pages_crawled = self._crawl_module.pages_fetched
-        result.pages_failed = self._crawl_module.pages_failed
-        result.changes_detected = self._update_module.changes_detected
-        result.pages_replaced = self._ranking_module.pages_replaced
-        return result
+    def _run_batched(
+        self,
+        start_time: float,
+        end_time: float,
+        tracker: FreshnessTracker,
+        result: CrawlRunResult,
+    ) -> None:
+        """The batched engine: crawl slots drained one tick window at a time.
+
+        The :class:`StreamScheduler` carries the three recurring streams
+        with the reference engine's exact ``(time, sequence)`` ordering.
+        When a crawl event pops, every follow-up crawl slot that would have
+        run before the next ranking/measurement event is folded into one
+        ``process_slots`` call; each folded slot claims the sequence number
+        its per-event counterpart would have consumed, so every tie-break —
+        now and later in the run — resolves identically. Slot times are
+        accumulated with the same float additions the reference engine
+        performs, keeping fetch timestamps bit-identical.
+        """
+        scheduler = StreamScheduler()
+        crawl_period = 1.0 / self._config.crawl_budget_per_day
+        epsilon = 1e-12
+
+        scheduler.schedule(start_time, "crawl")
+        scheduler.schedule(start_time, "ranking")
+        scheduler.schedule(start_time, "measure")
+
+        while True:
+            head = scheduler.peek()
+            if head is None or head[0] > end_time + epsilon:
+                break
+            at, _sequence, label = scheduler.pop()
+            if label == "crawl":
+                # Fold every crawl slot that precedes the next other-stream
+                # event into one batch. The other streams cannot move while
+                # only crawl slots run, so their head is read once; each
+                # folded slot still consumes the sequence number its
+                # per-event counterpart would have, keeping all later
+                # tie-breaks identical. Slot times accumulate with the same
+                # float additions the reference engine performs.
+                slots = [at]
+                append = slots.append
+                next_time = at + crawl_period
+                other = scheduler.peek()
+                if other is None:
+                    other_time, other_sequence = float("inf"), 0
+                else:
+                    other_time, other_sequence = other[0], other[1]
+                base_sequence = scheduler.next_sequence
+                claimed = 0
+                limit = end_time + epsilon
+                while next_time <= limit:
+                    if next_time > other_time or (
+                        next_time == other_time
+                        and other_sequence < base_sequence + claimed
+                    ):
+                        break
+                    append(next_time)
+                    claimed += 1
+                    next_time += crawl_period
+                scheduler.claim_sequences(claimed)
+                scheduler.schedule(next_time, "crawl")
+                self._update_module.process_slots(slots)
+            elif label == "ranking":
+                refinement = self._ranking_module.refine(at)
+                self._update_module.set_importance(refinement.importance)
+                scheduler.schedule(at + self._config.ranking_interval_days, "ranking")
+            else:
+                tracker.sample(at)
+                if self._config.track_quality:
+                    self._sample_quality(result, at)
+                scheduler.schedule(at + self._config.measurement_interval_days, "measure")
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _bootstrap(self, start_time: float) -> None:
-        """Seed AllUrls and CollUrls with the configured seed URLs."""
-        for offset, url in enumerate(self._seeds):
+        """Seed AllUrls and CollUrls with the configured seed URLs.
+
+        All seeds are scheduled at exactly ``start_time``; the queue's
+        sequence tie-break serves them in seed order, so bulk scheduling is
+        collision-safe without spreading artificial epsilon offsets.
+        """
+        fresh = []
+        for url in self._seeds:
             self._allurls.add(url, discovered_at=start_time)
             if url not in self._collurls:
-                # Spread the seeds over the first crawl steps.
-                self._collurls.schedule(url, start_time + offset * 1e-6)
+                fresh.append(url)
+        self._collurls.schedule_many(fresh, [start_time] * len(fresh))
 
     def _sample_quality(self, result: CrawlRunResult, at: float) -> None:
-        if self._true_importance is None:
-            self._true_importance = true_page_importance(self._web)
-        urls = [record.url for record in self._collection.current_records()]
-        quality = collection_quality(
-            urls, self._true_importance, capacity=self._config.collection_capacity
-        )
+        if self._quality_cache is None:
+            self._quality_cache = CollectionQualityCache(
+                self._web, capacity=self._config.collection_capacity
+            )
+        quality = self._quality_cache.quality(self._collection.current_urls())
         result.quality.append(quality)
         result.quality_times.append(at)

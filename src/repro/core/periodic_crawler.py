@@ -17,15 +17,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.core.quality import collection_quality, true_page_importance
+from repro.core.quality import CollectionQualityCache
 from repro.fetch.fetcher import SimulatedFetcher
 from repro.simulation.clock import VirtualClock
 from repro.simulation.freshness_tracker import FreshnessTimeSeries, FreshnessTracker
 from repro.simweb.web import SimulatedWeb
 from repro.storage.collection import ShadowCollection
 from repro.storage.records import PageRecord
+
+#: Engines :meth:`PeriodicCrawler.run` can execute with.
+PERIODIC_ENGINES: Tuple[str, ...] = ("batched", "reference")
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,9 @@ class PeriodicCrawlerConfig:
         cycle_days: Days between the starts of consecutive crawls.
         measurement_interval_days: How often freshness is sampled.
         track_quality: Also sample collection quality.
+        engine: ``"batched"`` (BFS waves resolved through the batched
+            oracle, the default) or ``"reference"`` (one scalar fetch per
+            pop). Both produce identical results.
     """
 
     collection_capacity: int = 500
@@ -49,6 +55,7 @@ class PeriodicCrawlerConfig:
     cycle_days: float = 30.0
     measurement_interval_days: float = 0.5
     track_quality: bool = True
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         if self.collection_capacity < 1:
@@ -59,6 +66,10 @@ class PeriodicCrawlerConfig:
             raise ValueError("cycle_days must be positive")
         if self.measurement_interval_days <= 0:
             raise ValueError("measurement_interval_days must be positive")
+        if self.engine not in PERIODIC_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choices: {', '.join(PERIODIC_ENGINES)}"
+            )
 
     @property
     def batch_duration_days(self) -> float:
@@ -113,7 +124,7 @@ class PeriodicCrawler:
             raise ValueError("the crawler needs at least one seed URL")
         self._fetcher = SimulatedFetcher(web)
         self._collection = ShadowCollection(capacity=self._config.collection_capacity)
-        self._true_importance: Optional[Dict[str, float]] = None
+        self._quality_cache: Optional[CollectionQualityCache] = None
 
     @property
     def collection(self) -> ShadowCollection:
@@ -155,6 +166,8 @@ class PeriodicCrawler:
         self, cycle_start: float, end_time: float, result: PeriodicCrawlResult
     ) -> float:
         """Crawl one full collection breadth-first; returns the completion time."""
+        if self._config.engine == "batched" and self._fetcher.supports_batching:
+            return self._run_one_cycle_batched(cycle_start, end_time, result)
         per_fetch = 1.0 / self._config.crawl_budget_per_day
         now = cycle_start
         queue = deque(self._seeds)
@@ -186,6 +199,90 @@ class PeriodicCrawler:
         result.cycles_completed += 1
         return now
 
+    def _run_one_cycle_batched(
+        self, cycle_start: float, end_time: float, result: PeriodicCrawlResult
+    ) -> float:
+        """Wave-batched breadth-first cycle, identical to the scalar loop.
+
+        The BFS frontier is processed one wave at a time: all URLs queued at
+        the start of the wave resolve through one
+        :meth:`~repro.fetch.fetcher.SimulatedFetcher.fetch_many` call, then
+        the discovered links of each fetched page are appended in pop order,
+        reproducing the exact deque order of the per-URL loop. Within a
+        wave, each URL is fetched at most once per cycle (the ``seen`` set
+        guards enqueueing), so only the stop conditions need care: a wave
+        slice never exceeds the remaining time budget (``now < end_time``
+        per fetch) nor the number of pages still admissible, which keeps
+        the fetch count identical to the scalar loop's.
+        """
+        per_fetch = 1.0 / self._config.crawl_budget_per_day
+        capacity = self._config.collection_capacity
+        now = cycle_start
+        queue = deque(self._seeds)
+        seen: Set[str] = set(self._seeds)
+        collected = 0
+        collection = self._collection
+        fetcher = self._fetcher
+        while queue and collected < capacity and now < end_time:
+            # The scalar loop checks `now < end_time` before each pop and
+            # stores at most (capacity - collected) more pages; a slice of
+            # that length cannot overshoot either bound.
+            max_by_time = len(queue)
+            if per_fetch > 0:
+                budget_slots = int((end_time - now) / per_fetch) + 1
+                if budget_slots < max_by_time:
+                    max_by_time = budget_slots
+            wave_len = min(len(queue), capacity - collected, max_by_time)
+            wave = [queue.popleft() for _ in range(wave_len)]
+            times: List[float] = []
+            wave_now = now
+            for _ in range(wave_len):
+                times.append(wave_now)
+                wave_now += per_fetch
+            # Trim to the slots that actually start before end_time.
+            cut = wave_len
+            for j in range(wave_len):
+                if not times[j] < end_time:
+                    cut = j
+                    break
+            if cut < wave_len:
+                for url in reversed(wave[cut:]):
+                    queue.appendleft(url)
+                wave = wave[:cut]
+                times = times[:cut]
+            if not wave:
+                break
+            fetch = fetcher.fetch_many(wave, times)
+            ok = fetch.ok.tolist()
+            versions = fetch.versions.tolist()
+            completed = fetch.completed_at.tolist()
+            for url, ok_i, version_i, completed_i in zip(wave, ok, versions, completed):
+                now += per_fetch
+                if not ok_i:
+                    continue
+                content, checksum = fetcher.content_for(url, version_i)
+                outlinks = fetcher.outlinks_of(url)
+                if collection.get_working(url) is None and collected < capacity:
+                    collection.store(
+                        PageRecord(
+                            url=url,
+                            content=content,
+                            checksum=checksum,
+                            fetched_at=completed_i,
+                            first_fetched_at=completed_i,
+                            outlinks=tuple(outlinks),
+                        )
+                    )
+                    collected += 1
+                result.pages_crawled += 1
+                for link in outlinks:
+                    if link not in seen:
+                        seen.add(link)
+                        queue.append(link)
+        self._collection.complete_cycle(at=now)
+        result.cycles_completed += 1
+        return now
+
     def _shadow_full(self) -> bool:
         return (
             len(self._collection.working_records()) >= self._config.collection_capacity
@@ -210,11 +307,10 @@ class PeriodicCrawler:
         return next_measurement
 
     def _sample_quality(self, result: PeriodicCrawlResult, at: float) -> None:
-        if self._true_importance is None:
-            self._true_importance = true_page_importance(self._web)
-        urls = [record.url for record in self._collection.current_records()]
-        quality = collection_quality(
-            urls, self._true_importance, capacity=self._config.collection_capacity
-        )
+        if self._quality_cache is None:
+            self._quality_cache = CollectionQualityCache(
+                self._web, capacity=self._config.collection_capacity
+            )
+        quality = self._quality_cache.quality(self._collection.current_urls())
         result.quality.append(quality)
         result.quality_times.append(at)

@@ -31,6 +31,49 @@ def true_page_importance(web: SimulatedWeb, damping: float = 0.85) -> Dict[str, 
     return pagerank(graph, damping=damping)
 
 
+class CollectionQualityCache:
+    """Repeated quality sampling against a fixed ground truth, made cheap.
+
+    :func:`collection_quality` re-sorts the full-web importance table on
+    every call to find the attainable mass — fine for a one-off report,
+    wasteful inside a crawler's measurement event that fires hundreds of
+    times per run. This cache computes the ground-truth PageRank and the
+    best-``capacity`` attainable mass once; each sample is then a single
+    pass of dictionary lookups over the collection's URLs.
+
+    Args:
+        web: The synthetic web (ground truth).
+        capacity: Collection capacity the denominator is computed for.
+        damping: PageRank damping factor.
+    """
+
+    def __init__(self, web: SimulatedWeb, capacity: int, damping: float = 0.85) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._importance = true_page_importance(web, damping=damping)
+        best_scores = sorted(self._importance.values(), reverse=True)[:capacity]
+        self._attainable = sum(best_scores)
+
+    @property
+    def importance(self) -> Dict[str, float]:
+        """The ground-truth importance table (shared, do not mutate)."""
+        return self._importance
+
+    def quality(self, collected_urls: Iterable[str]) -> float:
+        """Quality of a collection given its current URLs.
+
+        Matches :func:`collection_quality` exactly (same fold order, same
+        clamping) for the capacity the cache was built with.
+        """
+        urls = list(collected_urls)
+        if not urls:
+            return 0.0
+        achieved = sum(self._importance.get(url, 0.0) for url in urls)
+        if self._attainable <= 0:
+            return 0.0
+        return min(1.0, achieved / self._attainable)
+
+
 def collection_quality(
     collected_urls: Iterable[str],
     importance: Dict[str, float],

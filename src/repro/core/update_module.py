@@ -17,11 +17,11 @@ more frequent visits than their change rate alone would justify).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.api.registry import ESTIMATORS
 from repro.core.collurls import CollUrls
-from repro.core.crawl_module import CrawlModule, CrawlOutcome
+from repro.core.crawl_module import BatchCrawlOutcome, CrawlModule, CrawlOutcome
 from repro.estimation.change_history import ChangeHistory
 from repro.estimation.rate_estimators import ChangeRateEstimator, build_rate_estimator
 from repro.freshness.policies import RevisitPolicy, UniformRevisitPolicy
@@ -93,6 +93,7 @@ class UpdateModule:
         self._intervals: Dict[str, float] = {}
         self._importance: Dict[str, float] = {}
         self._last_reallocation: Optional[float] = None
+        self._existence_cache: Optional[tuple] = None
         self.pages_processed = 0
         self.changes_detected = 0
 
@@ -128,6 +129,288 @@ class UpdateModule:
         self._maybe_reallocate(completed)
         next_visit = completed + self._interval_for(url)
         self._collurls.schedule(url, next_visit)
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Batched loop steps
+    # ------------------------------------------------------------------ #
+    def process_slots(self, slot_times: Sequence[float]) -> int:
+        """Drain CollUrls through a whole window of crawl slots at once.
+
+        Exactly equivalent to calling :meth:`process_next` once per slot
+        time, in order — including the subtle cases: a page rescheduled
+        early enough to be popped *again* within the same window, the head
+        of the queue changing between slots, and a revisit-interval
+        reallocation falling due mid-window.
+
+        The trick is that the *queue dynamics* of a window are decidable
+        without fetching anything: whether a fetch succeeds is an oracle
+        existence test, and a successful fetch reschedules its page at
+        ``completed + interval`` where the interval table is frozen between
+        reallocations. So the window is driven in two phases. Phase one
+        replays the pop/reschedule sequence against the real queue in bulk
+        rounds — :meth:`~repro.core.collurls.CollUrls.pop_due` pops a run,
+        a scan cuts it at the first entry that an earlier reschedule would
+        overtake (ties go to the older sequence number), the tail is
+        :meth:`~repro.core.collurls.CollUrls.restore`-d untouched, and the
+        round's reschedules land through one
+        :meth:`~repro.core.collurls.CollUrls.schedule_many` call, giving
+        every entry the exact sequence number the per-event engine would
+        have assigned. Phase two hands the accumulated ``(url, slot)``
+        assignments — typically a whole tick window — to one
+        :meth:`process_batch` call for the batched fetch/observe/estimate
+        pipeline. Reallocation boundaries interrupt both phases: the
+        triggering entry runs as a single-entry batch because the
+        reallocation must see exactly the observations made before it and
+        its reschedule uses the post-reallocation intervals.
+
+        Args:
+            slot_times: Virtual times of the crawl slots, ascending.
+
+        Returns:
+            Number of pages processed (slots with an empty queue are idle,
+            exactly like ``process_next`` returning ``None``).
+        """
+        fetcher = self._crawl_module.fetcher
+        latency = fetcher.latency_days
+        web = fetcher.web
+        horizon = web.horizon_days
+        realloc_interval = self._config.reallocation_interval_days
+        arrays = web.oracle_arrays()
+        page_index = arrays.index
+        # Plain lists: element access on NumPy arrays boxes a scalar per
+        # read, which adds up over hundreds of thousands of slots. The
+        # conversion is cached per OracleArrays instance (rebuilt with it
+        # when the web mutates) instead of per tick window.
+        cache = self._existence_cache
+        if cache is None or cache[0] is not arrays:
+            cache = (arrays, arrays.created.tolist(), arrays.deleted.tolist())
+            self._existence_cache = cache
+        created = cache[1]
+        deleted = cache[2]
+
+        pending_urls: List[str] = []
+        pending_times: List[float] = []
+
+        def flush() -> None:
+            if pending_urls:
+                self.process_batch(pending_urls, pending_times, reschedule=False)
+                pending_urls.clear()
+                pending_times.clear()
+
+        default_interval = self._config.default_interval_days
+        processed = 0
+        slot_index = 0
+        n_slots = len(slot_times)
+        queue_empty = False
+        while slot_index < n_slots and not queue_empty:
+            last = self._last_reallocation
+            # Re-read after every region: a reallocation rebinds the dict.
+            intervals = self._intervals
+            if last is None:
+                boundary = slot_index
+            else:
+                # First slot whose completion would trigger a reallocation;
+                # scanned once per reallocation region (linear overall).
+                threshold = last + realloc_interval
+                boundary = slot_index
+                while (
+                    boundary < n_slots
+                    and min(slot_times[boundary] + latency, horizon) < threshold
+                ):
+                    boundary += 1
+            if boundary == slot_index:
+                # Reallocation due: flush the window so far (the trigger
+                # must observe those visits' rate estimates), then process
+                # the triggering entry on its own.
+                flush()
+                head = self._collurls.pop()
+                if head is None:
+                    break
+                self.process_batch([head[0]], [slot_times[slot_index]])
+                processed += 1
+                slot_index += 1
+                continue
+            index_get = page_index.get
+            intervals_get = intervals.get
+            append_url = pending_urls.append
+            append_time = pending_times.append
+            pop_due = self._collurls.pop_due
+            while slot_index < boundary:
+                # Serve the head unconditionally (a crawl slot crawls the
+                # earliest entry even when it is scheduled in the future),
+                # then extend the run with pops bounded by the earliest
+                # reschedule produced so far: an entry scheduled later than
+                # that would be overtaken in the queue, ending the run.
+                entries = pop_due(max_n=1)
+                if not entries:
+                    # Empty queue: every remaining slot is a no-op (only
+                    # processing pushes entries back, and none is running).
+                    queue_empty = True
+                    break
+                cut = 0
+                earliest_reschedule = float("inf")
+                reschedule_urls: List[str] = []
+                reschedule_times: List[float] = []
+                j = 0
+                while True:
+                    scheduled_time = entries[j][0]
+                    if scheduled_time > earliest_reschedule:
+                        # An earlier reschedule overtakes this entry (ties
+                        # go to the older sequence number): end the run and
+                        # put the tail back untouched.
+                        self._collurls.restore(entries[j:])
+                        break
+                    url = entries[j][2]
+                    slot_j = slot_times[slot_index + j]
+                    page_id = index_get(url, -1)
+                    snapshot_time = slot_j if slot_j < horizon else horizon
+                    if (
+                        page_id >= 0
+                        and created[page_id] <= snapshot_time < deleted[page_id]
+                    ):
+                        # The fetch will succeed: its reschedule is frozen
+                        # arithmetic. Failed fetches reschedule nothing, so
+                        # they never tighten the run bound.
+                        completed_j = slot_j + latency
+                        if completed_j > horizon:
+                            completed_j = horizon
+                        interval = intervals_get(url)
+                        if interval is None or interval <= 0:
+                            interval = default_interval
+                        next_visit = completed_j + interval
+                        reschedule_urls.append(url)
+                        reschedule_times.append(next_visit)
+                        if next_visit < earliest_reschedule:
+                            earliest_reschedule = next_visit
+                    append_url(url)
+                    append_time(slot_j)
+                    cut = j = j + 1
+                    if j == len(entries):
+                        remaining = boundary - slot_index - j
+                        if remaining <= 0:
+                            break
+                        more = pop_due(until=earliest_reschedule, max_n=remaining)
+                        if not more:
+                            break
+                        entries.extend(more)
+                self._collurls.schedule_many(reschedule_urls, reschedule_times)
+                processed += cut
+                slot_index += cut
+        flush()
+        return processed
+
+    def process_batch(
+        self,
+        urls: Sequence[str],
+        times: Sequence[float],
+        reschedule: bool = True,
+    ) -> BatchCrawlOutcome:
+        """Crawl a batch of URLs and fold the outcomes into the statistics.
+
+        The batched counterpart of :meth:`process_next` minus the queue
+        pop: fetches resolve through one
+        :meth:`~repro.core.crawl_module.CrawlModule.crawl_many` call
+        (batched oracle + vectorized change detection), change histories
+        are appended in bulk, and rates are re-estimated through the
+        estimator's
+        :meth:`~repro.estimation.rate_estimators.ChangeRateEstimator.update_batch`.
+
+        A URL may appear several times in one batch (a hot page revisited
+        within a tick window); occurrences are folded in order. Estimator
+        updates are chunked at URL repeats so strategies that consume one
+        observation per call (EB) see each observation exactly once, in
+        visit order. Callers must ensure batches do not straddle a
+        reallocation boundary (see :meth:`process_slots`).
+
+        Args:
+            urls: URLs popped from CollUrls, in pop order.
+            times: The crawl slot time of each URL.
+            reschedule: Push each stored page's next visit back into
+                CollUrls. :meth:`process_slots` passes ``False`` because it
+                already replayed the reschedules while simulating the queue.
+
+        Returns:
+            The :class:`BatchCrawlOutcome` from the CrawlModule.
+        """
+        outcome = self._crawl_module.crawl_many(urls, times)
+        self.pages_processed += len(urls)
+        stored = outcome.stored
+        changed = outcome.changed
+        was_new = outcome.was_new
+        completed = outcome.completed_at.tolist()
+
+        chunk_urls: List[str] = []
+        chunk_histories: List[ChangeHistory] = []
+        chunk_members: set = set()
+        reschedule_urls: List[str] = []
+        reschedule_completed: List[float] = []
+        first_completed: Optional[float] = None
+
+        def flush_estimates() -> None:
+            if not chunk_urls:
+                return
+            rates = self._estimator.update_batch(chunk_urls, chunk_histories)
+            rate_estimates = self._rate_estimates
+            for chunk_url, rate in zip(chunk_urls, rates):
+                rate_estimates[chunk_url] = rate
+            chunk_urls.clear()
+            chunk_histories.clear()
+            chunk_members.clear()
+
+        histories = self._histories
+        window_days = self._config.history_window_days
+        for url, stored_i, changed_i, was_new_i, completed_i in zip(
+            outcome.urls, stored, changed, was_new, completed
+        ):
+            if not stored_i:
+                # The page has disappeared (or is excluded): drop its
+                # statistics and do not reschedule it; the RankingModule
+                # will admit a replacement page on its next scan. If an
+                # earlier visit of this page is awaiting its estimator
+                # update, fold it first — its rate is set and then
+                # forgotten, exactly as the per-URL order would have it.
+                if url in chunk_members:
+                    flush_estimates()
+                self._forget(url)
+                self._crawl_module.discard(url)
+                continue
+            if first_completed is None:
+                first_completed = completed_i
+            if reschedule:
+                reschedule_urls.append(url)
+                reschedule_completed.append(completed_i)
+            history = histories.get(url)
+            if history is None or was_new_i:
+                histories[url] = ChangeHistory(
+                    first_visit=completed_i,
+                    window_days=window_days,
+                )
+                self._estimator.reset_page(url)
+                continue
+            if url in chunk_members:
+                # Second visit of the same page within the batch: the
+                # estimator must fold the first observation before the
+                # next one is recorded.
+                flush_estimates()
+            history.record_visit(completed_i, changed_i)
+            if changed_i:
+                self.changes_detected += 1
+            chunk_urls.append(url)
+            chunk_histories.append(history)
+            chunk_members.add(url)
+
+        flush_estimates()
+        if first_completed is not None:
+            self._maybe_reallocate(first_completed)
+        if reschedule_urls:
+            self._collurls.schedule_many(
+                reschedule_urls,
+                [
+                    completed_i + self._interval_for(url)
+                    for url, completed_i in zip(reschedule_urls, reschedule_completed)
+                ],
+            )
         return outcome
 
     # ------------------------------------------------------------------ #
@@ -180,27 +463,27 @@ class UpdateModule:
         urls = list(dict.fromkeys(urls))
         if not urls:
             return
-        rates = {url: self._scheduling_rate(url) for url in urls}
+        # Scheduling rates with priors for unknown pages: a page with no
+        # history yet is assumed to change about once per default revisit
+        # interval; a page never seen to change gets a small floor rate
+        # rather than exactly zero, so the optimal allocation keeps
+        # re-checking it occasionally and the estimator can recover from an
+        # initial "this page never changes" conclusion. Built inline — the
+        # dict spans the whole collection at every reallocation.
+        estimates = self._rate_estimates
+        default_rate = 1.0 / self._config.default_interval_days
+        floor_rate = 0.5 / (self._config.history_window_days or 180.0)
+        rates = {}
+        for url in urls:
+            estimate = estimates.get(url)
+            if estimate is None:
+                rates[url] = default_rate
+            else:
+                rates[url] = estimate if estimate > floor_rate else floor_rate
         importance = self._importance if self._config.use_importance else None
         self._intervals = self._policy.intervals(
             rates, self._config.crawl_budget_per_day, importance
         )
-
-    def _scheduling_rate(self, url: str) -> float:
-        """Change rate used for scheduling, with priors for unknown pages.
-
-        A page with no history yet is assumed to change about once per
-        default revisit interval; a page that has never been seen to change
-        is given a small floor rate rather than exactly zero, so that the
-        optimal allocation keeps re-checking it occasionally and the
-        estimator can recover from an initial "this page never changes"
-        conclusion.
-        """
-        estimate = self._rate_estimates.get(url)
-        if estimate is None:
-            return 1.0 / self._config.default_interval_days
-        floor_window = self._config.history_window_days or 180.0
-        return max(estimate, 0.5 / floor_window)
 
     def _interval_for(self, url: str) -> float:
         interval = self._intervals.get(url)

@@ -6,12 +6,21 @@ those observations (optionally windowed to the most recent months, as the
 paper suggests keeping "say, last 6 months") and exposes the summary
 statistics the estimators need: number of visits, number of detected
 changes, total observation time, and the individual inter-visit intervals.
+
+The history sits on the crawler's per-fetch hot path, so it stores plain
+primitives (time, changed, interval) in deques and maintains its summary
+statistics incrementally; :class:`Observation` objects are only
+materialised for callers that ask for them. Window trimming pops aged
+observations from the front, and the running observation-time sum is
+rebuilt as a fresh left-fold whenever observations are dropped, so its
+value is bit-identical to summing the retained intervals directly.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Deque, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -40,6 +49,17 @@ class ChangeHistory:
             months of history.
     """
 
+    __slots__ = (
+        "first_visit",
+        "window_days",
+        "_last_visit",
+        "_times",
+        "_changed",
+        "_intervals",
+        "_n_changes",
+        "_interval_sum",
+    )
+
     def __init__(self, first_visit: float, window_days: Optional[float] = None) -> None:
         if first_visit < 0:
             raise ValueError("first_visit must be non-negative")
@@ -48,39 +68,51 @@ class ChangeHistory:
         self.first_visit = first_visit
         self.window_days = window_days
         self._last_visit = first_visit
-        self._observations: List[Observation] = []
+        self._times: Deque[float] = deque()
+        self._changed: Deque[bool] = deque()
+        self._intervals: Deque[float] = deque()
+        self._n_changes = 0
+        self._interval_sum = 0.0
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
-    def record_visit(self, time: float, changed: bool) -> Observation:
+    def record_visit(self, time: float, changed: bool) -> None:
         """Record a re-visit at ``time`` with its change outcome.
 
         Args:
             time: Virtual time of the visit; must not precede the previous
                 visit.
             changed: True when the checksum differed from the previous fetch.
-
-        Returns:
-            The stored :class:`Observation`.
         """
         if time < self._last_visit:
             raise ValueError("visits must be recorded in chronological order")
-        observation = Observation(
-            time=time,
-            changed=changed,
-            interval=time - self._last_visit,
-        )
-        self._observations.append(observation)
+        interval = time - self._last_visit
+        self._times.append(time)
+        self._changed.append(changed)
+        self._intervals.append(interval)
+        if changed:
+            self._n_changes += 1
+        self._interval_sum += interval
         self._last_visit = time
         self._trim()
-        return observation
 
     def _trim(self) -> None:
-        if self.window_days is None or not self._observations:
+        if self.window_days is None or not self._times:
             return
         cutoff = self._last_visit - self.window_days
-        self._observations = [o for o in self._observations if o.time >= cutoff]
+        dropped = False
+        # Observations are chronological, so aging out is a prefix removal.
+        while self._times and self._times[0] < cutoff:
+            self._times.popleft()
+            if self._changed.popleft():
+                self._n_changes -= 1
+            self._intervals.popleft()
+            dropped = True
+        if dropped:
+            # Rebuild as a left-fold over the survivors so the running sum
+            # stays bit-identical to sum(retained intervals).
+            self._interval_sum = sum(self._intervals)
 
     # ------------------------------------------------------------------ #
     # Summary statistics
@@ -91,34 +123,51 @@ class ChangeHistory:
         return self._last_visit
 
     @property
-    def observations(self) -> Sequence[Observation]:
-        """All retained observations, oldest first."""
-        return tuple(self._observations)
+    def observations(self) -> Tuple[Observation, ...]:
+        """All retained observations, oldest first (materialised on demand)."""
+        return tuple(
+            Observation(time=time, changed=changed, interval=interval)
+            for time, changed, interval in zip(
+                self._times, self._changed, self._intervals
+            )
+        )
+
+    def last_outcome(self) -> Tuple[float, bool]:
+        """The newest observation as a cheap ``(interval, changed)`` pair.
+
+        The EB estimator folds exactly one observation per visit; this
+        accessor hands it over without materialising an
+        :class:`Observation`.
+
+        Raises:
+            IndexError: When no re-visit has been recorded yet.
+        """
+        return self._intervals[-1], self._changed[-1]
 
     @property
     def n_visits(self) -> int:
         """Number of recorded re-visits (excluding the very first fetch)."""
-        return len(self._observations)
+        return len(self._times)
 
     @property
     def n_changes(self) -> int:
         """Number of re-visits at which a change was detected."""
-        return sum(1 for o in self._observations if o.changed)
+        return self._n_changes
 
     @property
     def observation_time(self) -> float:
         """Total time covered by the retained observations (days)."""
-        return sum(o.interval for o in self._observations)
+        return self._interval_sum
 
     def intervals(self) -> List[float]:
         """Inter-visit intervals of the retained observations."""
-        return [o.interval for o in self._observations]
+        return list(self._intervals)
 
     def mean_interval(self) -> float:
         """Average inter-visit interval (0 when there are no observations)."""
-        if not self._observations:
+        if not self._times:
             return 0.0
-        return self.observation_time / len(self._observations)
+        return self._interval_sum / len(self._times)
 
     def detected_change_intervals(self) -> List[float]:
         """Observed intervals between successive *detected* changes.
@@ -129,9 +178,9 @@ class ChangeHistory:
         """
         intervals: List[float] = []
         elapsed_since_change = 0.0
-        for observation in self._observations:
-            elapsed_since_change += observation.interval
-            if observation.changed:
+        for changed, interval in zip(self._changed, self._intervals):
+            elapsed_since_change += interval
+            if changed:
                 intervals.append(elapsed_since_change)
                 elapsed_since_change = 0.0
         return intervals

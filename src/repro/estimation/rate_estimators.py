@@ -13,8 +13,9 @@ estimator choice.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.api.registry import register_estimator
 from repro.estimation.bayesian_estimator import BayesianClassEstimator
@@ -50,6 +51,29 @@ class ChangeRateEstimator(ABC):
 
     def forget(self, url: str) -> None:
         """Drop any per-page state for ``url``."""
+
+    def update_batch(
+        self, urls: Sequence[str], histories: Sequence[ChangeHistory]
+    ) -> List[float]:
+        """Batched :meth:`update` over many pages at once.
+
+        The default implementation loops :meth:`update`, which is already
+        exact; strategies whose estimate is a pure function of the history's
+        summary statistics (EP) override this to work from the O(1) running
+        sums directly. Either way the returned rates are bit-identical to
+        per-page :meth:`update` calls — the parity suite depends on it.
+
+        Args:
+            urls: Page URLs, aligned with ``histories``.
+            histories: Each page's history, its newest observation just
+                recorded.
+
+        Returns:
+            Estimated change rates (changes/day), one per page. Accepts
+            plain lists or ndarrays of URLs/histories; returns a list so
+            hot-path consumers avoid per-element NumPy scalar boxing.
+        """
+        return [self.update(url, history) for url, history in zip(urls, histories)]
 
 
 @register_estimator("ep")
@@ -87,6 +111,37 @@ class PoissonRateStrategy(ChangeRateEstimator):
             return 1.0 / mean_interval if mean_interval > 0 else 1.0
         return estimate.rate
 
+    def update_batch(
+        self, urls: Sequence[str], histories: Sequence[ChangeHistory]
+    ) -> List[float]:
+        """EP over a batch: the closed-form rate from each history's sums.
+
+        EP's point estimate is a pure function of ``(n_visits, n_changes,
+        observation_time)``, all O(1) running sums on the history, so the
+        batch skips the scalar path's confidence-interval computation —
+        the UpdateModule only consumes the point rate. The arithmetic uses
+        ``math.log`` per element rather than a SIMD ``np.log`` on purpose:
+        vectorized transcendentals may differ from libm in the last ulp,
+        and the batched engine promises bit-identical schedules.
+        """
+        rates: List[float] = []
+        append = rates.append
+        corrected = self._estimator.use_bias_correction
+        log = math.log
+        # Reads ChangeHistory's running sums directly: the property wrappers
+        # cost more than the arithmetic at this call frequency.
+        for history in histories:
+            n_visits = len(history._times)
+            total_time = history._interval_sum
+            if n_visits == 0 or total_time <= 0:
+                append(0.0)
+            elif corrected:
+                ratio = (n_visits - history._n_changes + 0.5) / (n_visits + 0.5)
+                append(-log(ratio) / (total_time / n_visits))
+            else:
+                append(history._n_changes / total_time)
+        return rates
+
 
 @register_estimator("eb")
 class BayesianClassStrategy(ChangeRateEstimator):
@@ -100,8 +155,8 @@ class BayesianClassStrategy(ChangeRateEstimator):
 
     def update(self, url: str, history: ChangeHistory) -> float:
         estimator = self._per_page.setdefault(url, BayesianClassEstimator())
-        last = history.observations[-1]
-        estimator.observe(last.interval, last.changed)
+        interval, changed = history.last_outcome()
+        estimator.observe(interval, changed)
         return estimator.expected_rate()
 
     def forget(self, url: str) -> None:

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.fetch.checksum import page_checksum
 from repro.fetch.politeness import PolitenessPolicy
@@ -43,6 +45,9 @@ class FetchResult:
         content: Page body (empty for non-OK fetches).
         checksum: Checksum of the body (empty for non-OK fetches).
         outlinks: URLs extracted from the body (empty for non-OK fetches).
+        version: Content version of the fetched snapshot (0 for non-OK
+            fetches) — the ground truth the body was generated from, at
+            the politeness-delayed fetch instant.
     """
 
     url: str
@@ -52,11 +57,40 @@ class FetchResult:
     content: str = ""
     checksum: str = ""
     outlinks: Sequence[str] = ()
+    version: int = 0
 
     @property
     def ok(self) -> bool:
         """True when the page was fetched successfully."""
         return self.status is FetchStatus.OK
+
+
+@dataclass
+class BatchFetchResult:
+    """Result of fetching many URLs in one batched oracle pass.
+
+    The batched path deliberately defers body materialisation: most
+    re-fetches see an unchanged page, for which the caller already holds
+    the identical stored body, so only the content *version* is resolved
+    eagerly (one vectorized binary search for the whole batch). Callers
+    that need a body ask :meth:`SimulatedFetcher.content_for` with the
+    resolved version.
+
+    Attributes:
+        urls: The requested URLs, in request order.
+        requested_at: Virtual request time per URL.
+        completed_at: Virtual completion time per URL (latency charged,
+            clamped to the horizon) — identical to the scalar path.
+        ok: Whether each fetch succeeded (page known and alive).
+        versions: Content version per URL at fetch time (valid where
+            ``ok``; 0 elsewhere).
+    """
+
+    urls: Sequence[str]
+    requested_at: np.ndarray
+    completed_at: np.ndarray
+    ok: np.ndarray
+    versions: np.ndarray
 
 
 class SimulatedFetcher:
@@ -144,7 +178,104 @@ class SimulatedFetcher:
             content=snapshot.content,
             checksum=page_checksum(snapshot.content),
             outlinks=tuple(snapshot.outlinks),
+            version=snapshot.version,
         )
+
+    @property
+    def supports_batching(self) -> bool:
+        """Whether :meth:`fetch_many` can take the vectorized fast path.
+
+        Politeness and robots rules are inherently sequential per-site state
+        machines (batched politeness is a planned follow-up), so configuring
+        either routes ``fetch_many`` through the exact scalar loop instead.
+        """
+        return self._politeness is None and self._robots is None
+
+    def fetch_many(self, urls: Sequence[str], times: Sequence[float]) -> BatchFetchResult:
+        """Fetch many URLs in one call, resolving through the batched oracle.
+
+        Semantically equivalent to one :meth:`fetch` per ``(url, time)``
+        pair, in order: the same completion times, the same success
+        criteria, the same fetch counting. With politeness or robots rules
+        configured the scalar loop is used verbatim (their per-site state
+        must evolve fetch by fetch); otherwise the whole batch costs one
+        URL-id lookup, one existence mask and one vectorized version search.
+
+        Args:
+            urls: URLs to fetch.
+            times: Virtual request time per URL (same length as ``urls``).
+
+        Returns:
+            A :class:`BatchFetchResult`; bodies are materialised on demand
+            via :meth:`content_for`.
+        """
+        if len(urls) != len(times):
+            raise ValueError("urls and times must have the same length")
+        requested = np.asarray(times, dtype=float)
+        if not self.supports_batching:
+            return self._fetch_many_scalar(urls, requested)
+        horizon = self._web.horizon_days
+        arrays = self._web.oracle_arrays()
+        ids, known = arrays.lookup(urls)
+        snapshot_times = np.minimum(requested, horizon)
+        ok = known.copy()
+        if known.any():
+            ok[known] = arrays.exists(ids[known], snapshot_times[known])
+        completed = np.minimum(requested + self.latency_days, horizon)
+        self._fetch_count += len(urls)
+        versions = np.zeros(len(urls), dtype=np.int64)
+        if ok.any():
+            versions[ok] = arrays.versions(ids[ok], snapshot_times[ok])
+        return BatchFetchResult(
+            urls=list(urls),
+            requested_at=requested,
+            completed_at=completed,
+            ok=ok,
+            versions=versions,
+        )
+
+    def _fetch_many_scalar(
+        self, urls: Sequence[str], requested: np.ndarray
+    ) -> BatchFetchResult:
+        """Exact per-URL fallback for configurations batching cannot honour."""
+        n = len(urls)
+        completed = np.empty(n, dtype=float)
+        ok = np.zeros(n, dtype=bool)
+        versions = np.zeros(n, dtype=np.int64)
+        for i, (url, at) in enumerate(zip(urls, requested)):
+            result = self.fetch(url, float(at))
+            completed[i] = result.completed_at
+            ok[i] = result.ok
+            if result.ok:
+                # The snapshot's own version: with politeness configured
+                # the fetch happens later than requested, and the version
+                # must describe the body that fetch actually returned.
+                versions[i] = result.version
+        return BatchFetchResult(
+            urls=list(urls),
+            requested_at=requested,
+            completed_at=completed,
+            ok=ok,
+            versions=versions,
+        )
+
+    def content_for(self, url: str, version: int) -> Tuple[str, str]:
+        """Materialise ``(content, checksum)`` for a resolved fetch.
+
+        Args:
+            url: A URL the web knows.
+            version: The content version resolved by :meth:`fetch_many`.
+
+        Returns:
+            The page body at that version and its checksum — identical to
+            what a scalar :meth:`fetch` at the same instant returns.
+        """
+        content = self._web.page(url).content_for_version(int(version))
+        return content, page_checksum(content)
+
+    def outlinks_of(self, url: str) -> Sequence[str]:
+        """The (constant) out-links of ``url`` as the fetch would report them."""
+        return self._web.page(url).outlinks
 
     def _site_id_of(self, url: str) -> Optional[str]:
         """Map a URL to its owning site id via the oracle (None if unknown)."""

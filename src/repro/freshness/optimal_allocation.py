@@ -225,7 +225,7 @@ def optimal_revisit_frequencies(
     total = float(frequencies.sum())
     if total > 0:
         frequencies *= budget / total
-    return [float(f) for f in frequencies]
+    return frequencies.tolist()
 
 
 def optimal_revisit_frequencies_reference(
@@ -385,6 +385,11 @@ def _frequencies_for_marginal_array(
         growing &= high <= _FREQ_CAP
     for _ in range(_BISECTION_ITERS):
         mid = 0.5 * (low + high)
+        if ((mid == low) | (mid == high)).all():
+            # Every bracket has collapsed to adjacent floats: further
+            # iterations are bit-exact no-ops, so stopping early returns
+            # the same answer the full iteration count would.
+            break
         above = gap_positive(mid)
         low = np.where(above, mid, low)
         high = np.where(above, high, mid)
@@ -418,6 +423,10 @@ def _frequency_for_marginal(rate: float, weight: float, mu: float) -> float:
             break
     for _ in range(_BISECTION_ITERS):
         mid = 0.5 * (low + high)
+        if mid == low or mid == high:
+            # Bracket collapsed to adjacent floats; the remaining
+            # iterations could not change the result.
+            break
         if gap(mid) > 0:
             low = mid
         else:

@@ -63,13 +63,52 @@ class ChangeProcess(ABC):
         """Sample and store change times over ``[0, horizon]``.
 
         Calling this twice replaces the previous sample; the web generator
-        calls it exactly once per page.
+        materialises every page exactly once (in bulk, through
+        :meth:`materialise_many`).
         """
         if horizon < 0:
             raise ValueError("horizon must be non-negative")
         self._horizon = horizon
         self._change_times = sorted(self._sample_change_times(horizon, rng))
         self._change_times_array = None
+
+    def _set_materialised(self, horizon: float, times: np.ndarray) -> None:
+        """Install pre-sampled (sorted ascending) change times directly.
+
+        Bulk samplers hand each process its slice of a web-wide draw; the
+        array doubles as the cached representation the batched oracle
+        consumes.
+        """
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        array = np.ascontiguousarray(times, dtype=float)
+        array.setflags(write=False)
+        self._horizon = float(horizon)
+        # A sorted ndarray satisfies every sequence use the scalar paths
+        # make of the change-time list (bisect, len, iteration, indexing).
+        self._change_times = array
+        self._change_times_array = array
+
+    @classmethod
+    def materialise_many(
+        cls,
+        processes: Sequence["ChangeProcess"],
+        horizons: Sequence[float],
+        rng: np.random.Generator,
+    ) -> None:
+        """Materialise many processes of this class in bulk.
+
+        The base implementation simply loops :meth:`materialise`.
+        Subclasses whose sampling vectorises (Poisson counts + uniform
+        placement, periodic grids) override it to draw once per *web*
+        instead of once per page — the generator groups pages by model
+        class and calls this per group. Bulk sampling draws from ``rng``
+        in a different order than the per-page loop, so webs generated
+        before and after this change differ for the same seed (each is a
+        valid sample of the same distribution).
+        """
+        for process, horizon in zip(processes, horizons):
+            process.materialise(float(horizon), rng)
 
     @property
     def is_materialised(self) -> bool:
@@ -182,6 +221,47 @@ class PoissonChangeProcess(ChangeProcess):
         count = rng.poisson(self._rate * horizon)
         return list(np.sort(rng.uniform(0.0, horizon, size=count)))
 
+    @classmethod
+    def materialise_many(
+        cls,
+        processes: Sequence["ChangeProcess"],
+        horizons: Sequence[float],
+        rng: np.random.Generator,
+    ) -> None:
+        """All Poisson pages of a web in two draws, with no sorting.
+
+        One vectorized Poisson draw fixes every page's event count;
+        conditional on the count, the sorted event times of page ``i`` are
+        distributed as order statistics of ``c_i`` uniforms on its horizon,
+        which are constructed directly from exponential spacings:
+        ``U_(k) = (E_1 + ... + E_k) / (E_1 + ... + E_{c+1})``. One
+        exponential draw covers every spacing of every page, and segment
+        prefix sums replace the per-page sampling loop *and* the sort.
+        """
+        n = len(processes)
+        horizon_array = np.asarray(horizons, dtype=float)
+        rates = np.array([process._rate for process in processes], dtype=float)
+        counts = rng.poisson(rates * horizon_array)
+        total_events = int(counts.sum())
+        # One spacing per event plus the closing spacing of each page.
+        spacings = rng.standard_exponential(total_events + n)
+        segment_lengths = counts + 1
+        ends = np.cumsum(segment_lengths)
+        starts = ends - segment_lengths
+        running = np.cumsum(spacings)
+        bases = np.where(starts > 0, running[starts - 1], 0.0)
+        totals = running[ends - 1] - bases
+        event_mask = np.ones(total_events + n, dtype=bool)
+        event_mask[ends - 1] = False
+        partial = running[event_mask] - np.repeat(bases, counts)
+        times = partial * np.repeat(horizon_array / totals, counts)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        for i, process in enumerate(processes):
+            process._set_materialised(
+                horizon_array[i], times[offsets[i] : offsets[i + 1]]
+            )
+
 
 @register_change_model("periodic")
 class PeriodicChangeProcess(ChangeProcess):
@@ -207,6 +287,33 @@ class PeriodicChangeProcess(ChangeProcess):
             times.append(t)
             t += self._interval
         return times
+
+    @classmethod
+    def materialise_many(
+        cls,
+        processes: Sequence["ChangeProcess"],
+        horizons: Sequence[float],
+        rng: np.random.Generator,
+    ) -> None:
+        """Periodic grids as one ``arange`` per page — no randomness at all.
+
+        The grid is built as ``start + k * interval`` rather than by
+        repeated addition, which avoids the scalar loop's accumulated
+        rounding drift on long horizons.
+        """
+        for process, horizon in zip(processes, horizons):
+            horizon = float(horizon)
+            start = process._phase if process._phase > 0 else process._interval
+            if horizon <= 0 or start > horizon:
+                process._set_materialised(horizon, np.empty(0))
+                continue
+            count = int(np.floor((horizon - start) / process._interval)) + 1
+            times = start + process._interval * np.arange(count)
+            # Guard the float edge: the formula may land one step past the
+            # horizon where the scalar loop would have stopped.
+            while count > 0 and times[count - 1] > horizon:
+                count -= 1
+            process._set_materialised(horizon, times[:count])
 
 
 @register_change_model("bursty")

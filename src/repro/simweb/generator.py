@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -140,6 +140,11 @@ class WebGeneratorConfig:
 def generate_web(config: WebGeneratorConfig) -> SimulatedWeb:
     """Generate a synthetic web according to ``config``.
 
+    Change-event sampling is *bulk*: pages are created with unmaterialised
+    change processes, then every process is materialised per model class
+    through :meth:`ChangeProcess.materialise_many` — a handful of array
+    draws per web instead of a Python-level sampling loop per page.
+
     Returns:
         A fully wired :class:`SimulatedWeb`: pages have materialised change
         processes, lifespans, intra-site and cross-site links.
@@ -147,16 +152,39 @@ def generate_web(config: WebGeneratorConfig) -> SimulatedWeb:
     rng = np.random.default_rng(config.seed)
     web = SimulatedWeb(horizon_days=config.horizon_days)
     sites: List[SimulatedSite] = []
+    pending: List[Tuple[ChangeProcess, float]] = []
     for domain in DOMAIN_ORDER:
         profile = DOMAIN_PROFILES[domain]
         n_sites = config.sites_for_domain(domain)
         for site_index in range(n_sites):
-            site = _generate_site(domain, site_index, profile, config, rng)
+            site = _generate_site(domain, site_index, profile, config, rng, pending)
             sites.append(site)
+    _materialise_pending(pending, rng)
     generate_cross_links(sites, config.link_config, rng)
     for site in sites:
         web.add_site(site)
     return web
+
+
+def _materialise_pending(
+    pending: List[Tuple[ChangeProcess, float]], rng: np.random.Generator
+) -> None:
+    """Materialise all change processes, grouped by concrete model class.
+
+    Grouping preserves the deterministic page order within each class, so
+    the same seed always produces the same web (though a different one
+    than the retired per-page sampling loop produced, since bulk draws
+    consume the random stream in a different order).
+    """
+    groups: Dict[type, List[Tuple[ChangeProcess, float]]] = {}
+    for process, horizon in pending:
+        groups.setdefault(type(process), []).append((process, horizon))
+    for process_class, items in groups.items():
+        process_class.materialise_many(
+            [process for process, _ in items],
+            [horizon for _, horizon in items],
+            rng,
+        )
 
 
 def _generate_site(
@@ -165,6 +193,7 @@ def _generate_site(
     profile: DomainProfile,
     config: WebGeneratorConfig,
     rng: np.random.Generator,
+    pending: List[Tuple[ChangeProcess, float]],
 ) -> SimulatedSite:
     """Generate one site: root, initial pages, late-created pages, links."""
     site_id = f"site{site_index:03d}.{domain}"
@@ -189,6 +218,7 @@ def _generate_site(
         change_process=config.sample_change_process(profile, rng),
         config=config,
         rng=rng,
+        pending=pending,
     )
     site.add_page(root, is_root=True)
     pages.append(root)
@@ -210,6 +240,7 @@ def _generate_site(
             change_process=config.sample_change_process(profile, rng),
             config=config,
             rng=rng,
+            pending=pending,
         )
         site.add_page(page)
         pages.append(page)
@@ -228,10 +259,11 @@ def _make_page(
     change_process: ChangeProcess,
     config: WebGeneratorConfig,
     rng: np.random.Generator,
+    pending: List[Tuple[ChangeProcess, float]],
 ) -> SimulatedPage:
-    """Create a page and materialise its change process over the horizon."""
+    """Create a page; its change process is queued for bulk materialisation."""
     remaining_horizon = max(0.0, config.horizon_days - created_at)
-    change_process.materialise(remaining_horizon, rng)
+    pending.append((change_process, remaining_horizon))
     return SimulatedPage(
         url=url,
         site_id=site_id,

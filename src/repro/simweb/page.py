@@ -90,6 +90,8 @@ class SimulatedPage:
         self.lifespan = lifespan
         self.change_process = change_process
         self._outlinks: List[str] = []
+        self._outlinks_tuple: Optional[Sequence[str]] = None
+        self._content_parts: Optional[Sequence[str]] = None
         local_rng = np.random.default_rng(rng_seed)
         self._keywords = tuple(
             _VOCABULARY[i] for i in local_rng.integers(0, len(_VOCABULARY), size=6)
@@ -127,17 +129,27 @@ class SimulatedPage:
     # ------------------------------------------------------------------ #
     @property
     def outlinks(self) -> Sequence[str]:
-        """URLs this page links to (constant over the simulation)."""
-        return tuple(self._outlinks)
+        """URLs this page links to (constant over the simulation).
+
+        The tuple is cached: links are frozen once generation finishes, and
+        the batched fetch path reads this per fetch.
+        """
+        if self._outlinks_tuple is None:
+            self._outlinks_tuple = tuple(self._outlinks)
+        return self._outlinks_tuple
 
     def set_outlinks(self, urls: Sequence[str]) -> None:
         """Set the page's out-links (called once by the web generator)."""
         self._outlinks = list(dict.fromkeys(urls))
+        self._outlinks_tuple = None
+        self._content_parts = None
 
     def add_outlink(self, url: str) -> None:
         """Append a single out-link if not already present."""
         if url not in self._outlinks:
             self._outlinks.append(url)
+            self._outlinks_tuple = None
+            self._content_parts = None
 
     def version_at(self, t: float) -> int:
         """Content version at time ``t`` (number of changes so far)."""
@@ -162,15 +174,25 @@ class SimulatedPage:
         set, so that (a) any change to the version changes the checksum and
         (b) the inverted index has tokens to index.
         """
-        version = self.version_at(t)
-        keywords = " ".join(self._keywords)
-        links = " ".join(self._outlinks)
-        return (
-            f"url:{self.url}\n"
-            f"version:{version}\n"
-            f"keywords:{keywords}\n"
-            f"links:{links}\n"
-        )
+        return self.content_for_version(self.version_at(t))
+
+    def content_for_version(self, version: int) -> str:
+        """The page body at a known content version.
+
+        Everything but the version counter is static, so the surrounding
+        text is assembled once and cached; the batched fetch path resolves
+        versions through the array oracle and formats bodies through this
+        method without re-deriving the static parts per fetch.
+        """
+        if self._content_parts is None:
+            keywords = " ".join(self._keywords)
+            links = " ".join(self._outlinks)
+            self._content_parts = (
+                f"url:{self.url}\nversion:",
+                f"\nkeywords:{keywords}\nlinks:{links}\n",
+            )
+        prefix, suffix = self._content_parts
+        return f"{prefix}{version}{suffix}"
 
     def snapshot_at(self, t: float) -> PageSnapshot:
         """Build the :class:`PageSnapshot` a fetch at time ``t`` would return.

@@ -41,6 +41,14 @@ class Collection(ABC):
     def current_records(self) -> List[PageRecord]:
         """Records visible to users/queries right now."""
 
+    def current_urls(self) -> List[str]:
+        """URLs visible to users/queries right now.
+
+        Cheaper than :meth:`current_records` for callers (quality sampling)
+        that only need the key set, not the record objects.
+        """
+        return [record.url for record in self.current_records()]
+
     @abstractmethod
     def working_records(self) -> List[PageRecord]:
         """Records in the crawler's working collection (same as current for
@@ -88,6 +96,9 @@ class InPlaceCollection(Collection):
 
     def current_records(self) -> List[PageRecord]:
         return self._repository.records()
+
+    def current_urls(self) -> List[str]:
+        return list(self._repository.urls())
 
     def working_records(self) -> List[PageRecord]:
         return self._repository.records()
@@ -143,6 +154,9 @@ class ShadowCollection(Collection):
 
     def current_records(self) -> List[PageRecord]:
         return self._current.records()
+
+    def current_urls(self) -> List[str]:
+        return list(self._current.urls())
 
     def working_records(self) -> List[PageRecord]:
         return self._shadow.records()

@@ -213,10 +213,15 @@ class TestRankingModule:
         assert all(url in collurls for url in result.admitted)
 
     def test_importance_stored_on_records(self, tiny_web):
-        ranking, crawl_module, collection, _, _ = self._build(tiny_web)
+        # Capacity far above the candidate count: the scan must store
+        # importance on the crawled records without the replacement logic
+        # discarding them (which pages win replacement depends on the
+        # generated web's link structure, not what this test pins).
+        ranking, crawl_module, collection, _, _ = self._build(tiny_web, capacity=500)
         for url in tiny_web.seed_urls()[:5]:
             crawl_module.crawl(url, at=0.5)
         ranking.refine(at=1.0)
+        assert collection.working_records()
         assert any(r.importance > 0 for r in collection.working_records())
 
     def test_replacement_at_capacity(self, tiny_web):

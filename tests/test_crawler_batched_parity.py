@@ -1,0 +1,208 @@
+"""Batched crawl engine vs the pinned per-URL reference engine.
+
+The batched engine (tick-window slot batching, batched oracle fetches,
+bulk reschedules) promises *bit-identical* behaviour to the per-URL
+reference path: same counters, same freshness and quality series, same
+stored collection. These tests pin that promise across every revisit
+policy × estimator combination, for the periodic crawler's wave-batched
+cycles, and for the collision-safe scheduling primitives the batched
+engine leans on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collurls import CollUrls
+from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
+from repro.core.periodic_crawler import PeriodicCrawler, PeriodicCrawlerConfig
+from repro.simweb.generator import WebGeneratorConfig, generate_web
+
+WEB_CONFIG = WebGeneratorConfig(
+    site_scale=0.04,
+    pages_per_site=12,
+    horizon_days=50.0,
+    new_page_fraction=0.25,
+    seed=11,
+)
+
+
+def _run_incremental(engine: str, policy: str, estimator: str):
+    web = generate_web(WEB_CONFIG)
+    crawler = IncrementalCrawler(
+        web,
+        IncrementalCrawlerConfig(
+            collection_capacity=100,
+            crawl_budget_per_day=400.0,
+            revisit_policy=policy,
+            estimator=estimator,
+            engine=engine,
+            ranking_interval_days=5.0,
+            reallocation_interval_days=1.0,
+            measurement_interval_days=0.5,
+            track_quality=True,
+        ),
+    )
+    result = crawler.run(30.0)
+    return result, crawler
+
+
+class TestIncrementalEngineParity:
+    @pytest.mark.parametrize("policy", ["uniform", "proportional", "optimal"])
+    @pytest.mark.parametrize("estimator", ["ep", "eb"])
+    def test_counters_and_series_identical(self, policy, estimator):
+        batched, crawler_b = _run_incremental("batched", policy, estimator)
+        reference, crawler_r = _run_incremental("reference", policy, estimator)
+
+        assert batched.pages_crawled == reference.pages_crawled
+        assert batched.pages_failed == reference.pages_failed
+        assert batched.changes_detected == reference.changes_detected
+        assert batched.pages_replaced == reference.pages_replaced
+
+        # Bit-identical series, not approximately equal.
+        assert batched.freshness.times == reference.freshness.times
+        assert batched.freshness.freshness == reference.freshness.freshness
+        assert batched.quality == reference.quality
+        assert batched.quality_times == reference.quality_times
+
+        records_b = {r.url: r for r in crawler_b.collection.current_records()}
+        records_r = {r.url: r for r in crawler_r.collection.current_records()}
+        assert set(records_b) == set(records_r)
+        for url, record in records_b.items():
+            other = records_r[url]
+            assert record.fetched_at == other.fetched_at
+            assert record.checksum == other.checksum
+            assert record.visit_count == other.visit_count
+            assert record.change_count == other.change_count
+
+    def test_rate_estimates_identical(self):
+        _, crawler_b = _run_incremental("batched", "optimal", "ep")
+        _, crawler_r = _run_incremental("reference", "optimal", "ep")
+        assert (
+            crawler_b.update_module.estimated_rates()
+            == crawler_r.update_module.estimated_rates()
+        )
+
+    def test_politeness_falls_back_to_reference(self):
+        web = generate_web(WEB_CONFIG)
+        crawler = IncrementalCrawler(
+            web,
+            IncrementalCrawlerConfig(
+                collection_capacity=60,
+                crawl_budget_per_day=200.0,
+                engine="batched",
+                use_politeness=True,
+                track_quality=False,
+            ),
+        )
+        result = crawler.run(5.0)
+        assert result.pages_crawled > 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            IncrementalCrawlerConfig(engine="warp")
+
+
+class TestPeriodicEngineParity:
+    def _run(self, engine: str):
+        web = generate_web(WEB_CONFIG)
+        crawler = PeriodicCrawler(
+            web,
+            PeriodicCrawlerConfig(
+                collection_capacity=100,
+                crawl_budget_per_day=1500.0,
+                cycle_days=8.0,
+                measurement_interval_days=0.5,
+                track_quality=True,
+                engine=engine,
+            ),
+        )
+        return crawler.run(30.0), crawler
+
+    def test_cycles_and_series_identical(self):
+        batched, crawler_b = self._run("batched")
+        reference, crawler_r = self._run("reference")
+        assert batched.pages_crawled == reference.pages_crawled
+        assert batched.cycles_completed == reference.cycles_completed
+        assert batched.freshness.times == reference.freshness.times
+        assert batched.freshness.freshness == reference.freshness.freshness
+        assert batched.quality == reference.quality
+        urls_b = sorted(crawler_b.collection.current_urls())
+        urls_r = sorted(crawler_r.collection.current_urls())
+        assert urls_b == urls_r
+
+
+class TestCollisionSafeScheduling:
+    """Satellite: bulk scheduling must never rely on epsilon nudges."""
+
+    def test_equal_times_pop_in_schedule_order(self):
+        queue = CollUrls()
+        urls = [f"http://seed{i}/" for i in range(50)]
+        queue.schedule_many(urls, [3.0] * len(urls))
+        popped = [queue.pop()[0] for _ in range(len(urls))]
+        assert popped == urls
+
+    def test_schedule_front_is_lifo_without_time_nudges(self):
+        queue = CollUrls()
+        queue.schedule("http://a/", 2.0)
+        queue.schedule_front("http://x/", now=5.0)
+        queue.schedule_front("http://y/", now=5.0)
+        # Later admissions pop first; the scheduled time is the head's
+        # time itself, not an epsilon below it.
+        assert queue.scheduled_time("http://y/") == 2.0
+        assert [queue.pop()[0] for _ in range(3)] == [
+            "http://y/",
+            "http://x/",
+            "http://a/",
+        ]
+
+    def test_front_entries_survive_dense_bulk_schedules(self):
+        queue = CollUrls()
+        # A thousand entries at exactly the same time plus front entries:
+        # with epsilon-based front placement these collide; with sequence
+        # tie-breaks the order stays exact.
+        urls = [f"http://u{i}/" for i in range(1000)]
+        queue.schedule_many(urls, [7.0] * 1000)
+        queue.schedule_front("http://vip/", now=9.0)
+        assert queue.pop()[0] == "http://vip/"
+        assert queue.pop()[0] == "http://u0/"
+
+    def test_pop_due_and_restore_round_trip(self):
+        queue = CollUrls()
+        urls = [f"http://u{i}/" for i in range(10)]
+        queue.schedule_many(urls, [float(i) for i in range(10)])
+        entries = queue.pop_due(max_n=6)
+        assert [entry[2] for entry in entries] == urls[:6]
+        queue.restore(entries[3:])
+        # Restored entries resume their exact positions.
+        assert queue.pop()[0] == urls[3]
+        assert queue.pop()[0] == urls[4]
+
+    def test_pop_due_until_bound(self):
+        queue = CollUrls()
+        queue.schedule_many(["http://a/", "http://b/", "http://c/"], [1.0, 2.0, 3.0])
+        entries = queue.pop_due(until=2.0)
+        assert [entry[2] for entry in entries] == ["http://a/", "http://b/"]
+        assert len(queue) == 1
+
+    def test_restore_rejects_rescheduled_url(self):
+        queue = CollUrls()
+        queue.schedule("http://a/", 1.0)
+        entries = queue.pop_due(max_n=1)
+        queue.schedule("http://a/", 9.0)
+        with pytest.raises(ValueError, match="rescheduled"):
+            queue.restore(entries)
+
+    def test_bootstrap_seeds_share_start_time(self):
+        """Seeds are scheduled at exactly the start time, in seed order."""
+        web = generate_web(WEB_CONFIG)
+        crawler = IncrementalCrawler(
+            web,
+            IncrementalCrawlerConfig(collection_capacity=50, track_quality=False),
+        )
+        crawler._bootstrap(2.5)
+        seeds = web.seed_urls()
+        times = [crawler.collurls.scheduled_time(url) for url in seeds]
+        assert times == [2.5] * len(seeds)
+        popped = [crawler.collurls.pop()[0] for _ in range(len(seeds))]
+        assert popped == seeds
