@@ -156,6 +156,10 @@ def _run_crawl(spec: ExperimentSpec, web: Optional[SimulatedWeb]) -> _RunPayload
                 default_revisit_interval_days=crawler_spec.default_revisit_interval_days,
                 track_quality=crawler_spec.track_quality,
                 use_politeness=crawler_spec.use_politeness,
+                politeness_min_delay_seconds=crawler_spec.politeness_min_delay_seconds,
+                politeness_night_window=crawler_spec.politeness_night_window,
+                politeness_night_start=crawler_spec.politeness_night_start,
+                politeness_night_duration=crawler_spec.politeness_night_duration,
                 engine=crawler_spec.engine,
             ),
         )

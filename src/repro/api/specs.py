@@ -224,11 +224,21 @@ class CrawlerSpec(_SpecBase):
         default_revisit_interval_days: Interval assumed before a page has a
             change history (incremental only).
         track_quality: Also sample collection quality.
-        use_politeness: Apply per-site politeness delays (incremental only;
-            forces the reference engine).
+        use_politeness: Apply per-site politeness constraints
+            (incremental only). Both engines honour them; the batched
+            engine resolves them in site-grouped bulk passes.
+        politeness_min_delay_seconds: Minimum (virtual) seconds between two
+            requests to one site when politeness is on; the paper used 10.
+        politeness_night_window: Also restrict fetching to the recurring
+            nightly crawl window.
+        politeness_night_start: Start of the nightly window as a fraction
+            of a day (0.875 = 9 pm).
+        politeness_night_duration: Length of the nightly window as a
+            fraction of a day (0.375 = nine hours).
         engine: Crawl-loop engine — ``"batched"`` (tick-window batching,
             the default) or ``"reference"`` (the pinned per-URL path).
-            Both engines produce bit-identical results.
+            Both engines produce bit-identical results, with or without
+            politeness.
     """
 
     kind: str = "incremental"
@@ -243,6 +253,10 @@ class CrawlerSpec(_SpecBase):
     default_revisit_interval_days: float = 7.0
     track_quality: bool = True
     use_politeness: bool = False
+    politeness_min_delay_seconds: float = 10.0
+    politeness_night_window: bool = False
+    politeness_night_start: float = 0.875
+    politeness_night_duration: float = 0.375
     engine: str = "batched"
 
     def __post_init__(self) -> None:
@@ -264,6 +278,12 @@ class CrawlerSpec(_SpecBase):
             raise ValueError("cycle_days must be positive")
         if self.measurement_interval_days <= 0:
             raise ValueError("measurement_interval_days must be positive")
+        if self.politeness_min_delay_seconds < 0:
+            raise ValueError("politeness_min_delay_seconds must be non-negative")
+        if not 0.0 <= self.politeness_night_start < 1.0:
+            raise ValueError("politeness_night_start must be in [0, 1)")
+        if not 0.0 < self.politeness_night_duration <= 1.0:
+            raise ValueError("politeness_night_duration must be in (0, 1]")
 
 
 @dataclass(frozen=True)

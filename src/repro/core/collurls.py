@@ -216,3 +216,19 @@ class CollUrls:
     def urls(self) -> List[str]:
         """All queued URLs (unordered)."""
         return list(self._scheduled.keys())
+
+    def urls_in_queue_order(self) -> List[str]:
+        """All queued URLs in exact queue order — ``(time, sequence)``.
+
+        Unlike :meth:`urls`, whose order reflects dict-insertion history
+        and therefore the *operational* path taken (a
+        :meth:`pop_due`/:meth:`restore` round trip moves entries to the
+        end even though their queue positions are unchanged), this order
+        is a pure function of the queue contents. Order-sensitive
+        consumers — anything that feeds a float reduction, where
+        summation order shifts results at the ulp level — must use this
+        so that engines taking different operational paths over the same
+        queue state see the same sequence.
+        """
+        entries = sorted(self._scheduled.values())
+        return [entry[2] for entry in entries]

@@ -166,7 +166,12 @@ class CrawlModule:
             completed_at=result.completed_at,
         )
 
-    def crawl_many(self, urls: Sequence[str], times: Sequence[float]) -> BatchCrawlOutcome:
+    def crawl_many(
+        self,
+        urls: Sequence[str],
+        times: Sequence[float],
+        resolved_at: Optional[Sequence[float]] = None,
+    ) -> BatchCrawlOutcome:
         """Process a batch of URLs: one oracle pass, then bulk store/forward.
 
         Equivalent to calling :meth:`crawl` once per ``(url, time)`` pair in
@@ -180,11 +185,14 @@ class CrawlModule:
         Args:
             urls: URLs to crawl (distinct within one batch).
             times: Virtual time each crawl is issued, aligned with ``urls``.
+            resolved_at: Optional politeness-resolved start instant per URL,
+                forwarded to :meth:`SimulatedFetcher.fetch_many` when the
+                caller already resolved the per-site delays.
 
         Returns:
             A :class:`BatchCrawlOutcome` with per-URL flags.
         """
-        fetch = self._fetcher.fetch_many(urls, times)
+        fetch = self._fetcher.fetch_many(urls, times, resolved_at=resolved_at)
         n = len(fetch.urls)
         changed = [False] * n
         was_new = [False] * n

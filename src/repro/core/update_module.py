@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.api.registry import ESTIMATORS
 from repro.core.collurls import CollUrls
 from repro.core.crawl_module import BatchCrawlOutcome, CrawlModule, CrawlOutcome
@@ -171,6 +173,9 @@ class UpdateModule:
             Number of pages processed (slots with an empty queue are idle,
             exactly like ``process_next`` returning ``None``).
         """
+        politeness = self._crawl_module.fetcher.politeness
+        if politeness is not None:
+            return self._process_slots_polite(slot_times, politeness)
         fetcher = self._crawl_module.fetcher
         latency = fetcher.latency_days
         web = fetcher.web
@@ -300,11 +305,290 @@ class UpdateModule:
         flush()
         return processed
 
+    def _process_slots_polite(self, slot_times: Sequence[float], politeness) -> int:
+        """Politeness-aware variant of :meth:`process_slots`.
+
+        Politeness shifts every fetch instant by per-site state, which
+        breaks the plain engine's core shortcut: completion times are no
+        longer monotone in pop order (a night-window snap can push one
+        fetch days past its slot), so reallocation boundaries cannot be
+        located by scanning slot times up front. Instead each round pops an
+        optimistic candidate run, resolves the whole run's politeness in
+        one batched peek (:meth:`PolitenessPolicy.earliest_allowed_many`,
+        bit-identical to the sequential recurrence), predicts per-entry
+        completions and reschedules with the frozen interval table, and
+        cuts the run at the first entry that either
+
+        * would be overtaken in the queue by an earlier reschedule of this
+          round (ties go to the older sequence number, as in the plain
+          engine), or
+        * completes past the reallocation threshold — failed fetches never
+          trigger a reallocation, matching :meth:`process_next`'s early
+          return.
+
+        The accepted prefix commits its politeness state
+        (:meth:`PolitenessPolicy.record_requests`) and its reschedules, and
+        joins the pending fetch batch with its resolved start instants; the
+        tail is :meth:`~repro.core.collurls.CollUrls.restore`-d untouched
+        and re-popped next round. A reallocation trigger flushes the
+        pending batch and runs the triggering entry alone, exactly like the
+        plain engine. Failed fetches still advance the per-site politeness
+        state — the scalar fetch path records the request before it learns
+        the page is gone.
+
+        Like the plain engine, each round serves the queue head
+        unconditionally and then extends with pops bounded by the earliest
+        reschedule produced so far (``pop_due(until=...)``), so entries
+        that an earlier reschedule would overtake are mostly never popped
+        at all; the batched politeness peek runs once per extension chunk,
+        not per entry.
+        """
+        fetcher = self._crawl_module.fetcher
+        latency = fetcher.latency_days
+        web = fetcher.web
+        horizon = web.horizon_days
+        realloc_interval = self._config.reallocation_interval_days
+        arrays = web.oracle_arrays()
+        page_index = arrays.index
+        site_table = arrays.site_ids
+        site_index_table = arrays.site_index
+        site_names = arrays.site_names
+        created = arrays.created
+        deleted = arrays.deleted
+        # Plain-list existence columns for the scalar single-entry path
+        # (shared with the plain engine's cache; see process_slots).
+        cache = self._existence_cache
+        if cache is None or cache[0] is not arrays:
+            cache = (arrays, arrays.created.tolist(), arrays.deleted.tolist())
+            self._existence_cache = cache
+        created_list = cache[1]
+        deleted_list = cache[2]
+        default_interval = self._config.default_interval_days
+
+        pending_urls: List[str] = []
+        pending_times: List[float] = []
+        pending_starts: List[float] = []
+
+        def flush() -> None:
+            if pending_urls:
+                self.process_batch(
+                    pending_urls,
+                    pending_times,
+                    reschedule=False,
+                    resolved_at=pending_starts,
+                )
+                pending_urls.clear()
+                pending_times.clear()
+                pending_starts.clear()
+
+        processed = 0
+        slot_index = 0
+        n_slots = len(slot_times)
+        while slot_index < n_slots:
+            if self._last_reallocation is None:
+                # The first stored completion reallocates, whatever it is:
+                # single-step with the scalar politeness resolution until
+                # the first region boundary exists.
+                flush()
+                head = self._collurls.pop()
+                if head is None:
+                    break
+                url = head[0]
+                at = slot_times[slot_index]
+                page_id = page_index.get(url, -1)
+                if page_id >= 0:
+                    site_id = site_table[page_id]
+                    start = politeness.earliest_allowed(site_id, at)
+                    politeness.record_request(site_id, start)
+                else:
+                    start = at
+                self.process_batch([url], [at], resolved_at=[start])
+                processed += 1
+                slot_index += 1
+                continue
+            # One round: serve the queue head unconditionally (a crawl slot
+            # crawls the earliest entry even when scheduled in the future),
+            # then extend with chunks bounded by the earliest reschedule.
+            chunk = self._collurls.pop_due(max_n=1)
+            if not chunk:
+                # Empty queue: every remaining slot is a no-op.
+                break
+            earliest_reschedule = float("inf")
+            intervals_get = self._intervals.get
+            while chunk:
+                m = len(chunk)
+                if m == 1:
+                    # Scalar fast path: every round starts with a
+                    # single-entry head pop, and one entry has no
+                    # intra-chunk politeness dependencies, so the scalar
+                    # resolution (the identical float operations) applies
+                    # directly and the NumPy fixed costs are skipped.
+                    entry = chunk[0]
+                    url = entry[2]
+                    slot = slot_times[slot_index]
+                    page_id = page_index.get(url, -1)
+                    if page_id >= 0:
+                        site_id = site_table[page_id]
+                        start = politeness.earliest_allowed(site_id, slot)
+                    else:
+                        site_id = None
+                        start = slot
+                    if entry[0] > earliest_reschedule:
+                        self._collurls.restore(chunk)
+                        break
+                    snapshot_time = start if start < horizon else horizon
+                    ok_head = (
+                        page_id >= 0
+                        and created_list[page_id]
+                        <= snapshot_time
+                        < deleted_list[page_id]
+                    )
+                    completed_head = start + latency
+                    if completed_head > horizon:
+                        completed_head = horizon
+                    if site_id is not None:
+                        politeness.record_request(site_id, start)
+                    if ok_head and not (
+                        completed_head - self._last_reallocation < realloc_interval
+                    ):
+                        # Reallocation boundary.
+                        flush()
+                        self.process_batch([url], [slot], resolved_at=[start])
+                        processed += 1
+                        slot_index += 1
+                        break
+                    if ok_head:
+                        interval = intervals_get(url)
+                        if interval is None or interval <= 0:
+                            interval = default_interval
+                        next_visit_head = completed_head + interval
+                        self._collurls.schedule(url, next_visit_head)
+                        if next_visit_head < earliest_reschedule:
+                            earliest_reschedule = next_visit_head
+                    pending_urls.append(url)
+                    pending_times.append(slot)
+                    pending_starts.append(start)
+                    processed += 1
+                    slot_index += 1
+                    remaining = n_slots - slot_index
+                    if remaining <= 0:
+                        break
+                    chunk = self._collurls.pop_due(
+                        until=earliest_reschedule, max_n=remaining
+                    )
+                    continue
+                urls = [entry[2] for entry in chunk]
+                ids_arr = np.fromiter(
+                    (page_index.get(url, -1) for url in urls), dtype=np.int64, count=m
+                )
+                site_idx = np.where(
+                    ids_arr >= 0, site_index_table[np.maximum(ids_arr, 0)], -1
+                )
+                slots = slot_times[slot_index : slot_index + m]
+                starts = politeness.earliest_allowed_many_indexed(
+                    site_idx, site_names, slots
+                )
+                snapshot_times = np.minimum(starts, horizon)
+                ok = ids_arr >= 0
+                known_pos = np.nonzero(ok)[0]
+                if known_pos.size:
+                    known_ids = ids_arr[known_pos]
+                    known_snaps = snapshot_times[known_pos]
+                    ok[known_pos] = (created[known_ids] <= known_snaps) & (
+                        known_snaps < deleted[known_ids]
+                    )
+                completed = np.minimum(starts + latency, horizon)
+                # Predicted reschedules under the frozen intervals; failed
+                # fetches reschedule nothing and never trigger anything.
+                ok_list = ok.tolist()
+                completed_list = completed.tolist()
+                next_visit = np.full(m, np.inf)
+                for j, ok_j in enumerate(ok_list):
+                    if ok_j:
+                        interval = intervals_get(urls[j])
+                        if interval is None or interval <= 0:
+                            interval = default_interval
+                        next_visit[j] = completed_list[j] + interval
+                trigger = ok & (
+                    (completed - self._last_reallocation) >= realloc_interval
+                )
+                # An entry is still the next pop only if no reschedule
+                # produced before it (in this round) lands earlier; ties go
+                # to the older sequence number, hence the strict >.
+                bound = np.empty(m)
+                bound[0] = earliest_reschedule
+                if m > 1:
+                    np.minimum.accumulate(
+                        np.minimum(next_visit[:-1], earliest_reschedule),
+                        out=bound[1:],
+                    )
+                scheduled = np.fromiter(
+                    (entry[0] for entry in chunk), dtype=float, count=m
+                )
+                overtake = scheduled > bound
+                cut_overtake = int(np.argmax(overtake)) if overtake.any() else m
+                cut_realloc = int(np.argmax(trigger)) if trigger.any() else m
+                cut = cut_overtake if cut_overtake < cut_realloc else cut_realloc
+                if cut > 0:
+                    politeness.record_requests_indexed(site_idx[:cut], starts[:cut])
+                    reschedule_urls = [
+                        url for url, ok_j in zip(urls[:cut], ok_list[:cut]) if ok_j
+                    ]
+                    reschedule_times = [
+                        t
+                        for t, ok_j in zip(next_visit[:cut].tolist(), ok_list[:cut])
+                        if ok_j
+                    ]
+                    self._collurls.schedule_many(reschedule_urls, reschedule_times)
+                    pending_urls.extend(urls[:cut])
+                    pending_times.extend(slots[:cut])
+                    pending_starts.extend(starts[:cut].tolist())
+                    processed += cut
+                    slot_index += cut
+                    if reschedule_times:
+                        chunk_min = min(reschedule_times)
+                        if chunk_min < earliest_reschedule:
+                            earliest_reschedule = chunk_min
+                if cut < m:
+                    if cut_overtake <= cut_realloc:
+                        # Overtaken: the queue head changed; end the round
+                        # and re-pop. An entry both overtaken and past the
+                        # reallocation threshold is not actually the next
+                        # pop, so overtake wins the tie.
+                        self._collurls.restore(chunk[cut:])
+                        break
+                    # Reallocation boundary at entry `cut`: everything
+                    # observed so far must fold into the estimates first,
+                    # the rest of the chunk must be back in the queue when
+                    # the reallocation snapshots it, and the triggering
+                    # entry runs as a single-entry batch so its reschedule
+                    # uses the post-reallocation intervals.
+                    politeness.record_requests_indexed(
+                        site_idx[cut : cut + 1], starts[cut : cut + 1]
+                    )
+                    self._collurls.restore(chunk[cut + 1 :])
+                    flush()
+                    self.process_batch(
+                        [urls[cut]], [slots[cut]], resolved_at=[float(starts[cut])]
+                    )
+                    processed += 1
+                    slot_index += 1
+                    break
+                remaining = n_slots - slot_index
+                if remaining <= 0:
+                    break
+                chunk = self._collurls.pop_due(
+                    until=earliest_reschedule, max_n=remaining
+                )
+        flush()
+        return processed
+
     def process_batch(
         self,
         urls: Sequence[str],
         times: Sequence[float],
         reschedule: bool = True,
+        resolved_at: Optional[Sequence[float]] = None,
     ) -> BatchCrawlOutcome:
         """Crawl a batch of URLs and fold the outcomes into the statistics.
 
@@ -329,11 +613,14 @@ class UpdateModule:
             reschedule: Push each stored page's next visit back into
                 CollUrls. :meth:`process_slots` passes ``False`` because it
                 already replayed the reschedules while simulating the queue.
+            resolved_at: Optional politeness-resolved start instant per URL
+                (already recorded against the policy state), forwarded to
+                the fetch layer.
 
         Returns:
             The :class:`BatchCrawlOutcome` from the CrawlModule.
         """
-        outcome = self._crawl_module.crawl_many(urls, times)
+        outcome = self._crawl_module.crawl_many(urls, times, resolved_at=resolved_at)
         self.pages_processed += len(urls)
         stored = outcome.stored
         changed = outcome.changed
@@ -459,7 +746,15 @@ class UpdateModule:
         ):
             return
         self._last_reallocation = at
-        urls = self._collurls.urls() + list(self._rate_estimates.keys())
+        # Queue order, not dict-insertion order: the allocation below sums
+        # the rates, and float summation order matters at the ulp level.
+        # Dict-insertion order depends on the operational path (the batched
+        # engine's pop/restore round trips move entries to the dict end),
+        # while (time, sequence) queue order is a pure function of the
+        # queue contents both engines agree on bit-for-bit.
+        urls = self._collurls.urls_in_queue_order() + list(
+            self._rate_estimates.keys()
+        )
         urls = list(dict.fromkeys(urls))
         if not urls:
             return

@@ -132,6 +132,12 @@ class SimulatedFetcher:
         """Number of fetches issued so far."""
         return self._fetch_count
 
+    @property
+    def politeness(self) -> Optional[PolitenessPolicy]:
+        """The politeness policy, if one is configured (read-only access
+        for the batched crawl engine, which resolves delays in bulk)."""
+        return self._politeness
+
     def fetch(self, url: str, at: float) -> FetchResult:
         """Fetch ``url`` at virtual time ``at``.
 
@@ -185,25 +191,38 @@ class SimulatedFetcher:
     def supports_batching(self) -> bool:
         """Whether :meth:`fetch_many` can take the vectorized fast path.
 
-        Politeness and robots rules are inherently sequential per-site state
-        machines (batched politeness is a planned follow-up), so configuring
-        either routes ``fetch_many`` through the exact scalar loop instead.
+        Politeness resolves in bulk through
+        :meth:`PolitenessPolicy.earliest_allowed_many` (bit-identical to
+        the sequential per-fetch resolution). Robots rules remain a scalar
+        concern, so configuring them routes ``fetch_many`` through the
+        exact scalar loop instead.
         """
-        return self._politeness is None and self._robots is None
+        return self._robots is None
 
-    def fetch_many(self, urls: Sequence[str], times: Sequence[float]) -> BatchFetchResult:
+    def fetch_many(
+        self,
+        urls: Sequence[str],
+        times: Sequence[float],
+        resolved_at: Optional[Sequence[float]] = None,
+    ) -> BatchFetchResult:
         """Fetch many URLs in one call, resolving through the batched oracle.
 
         Semantically equivalent to one :meth:`fetch` per ``(url, time)``
         pair, in order: the same completion times, the same success
-        criteria, the same fetch counting. With politeness or robots rules
-        configured the scalar loop is used verbatim (their per-site state
-        must evolve fetch by fetch); otherwise the whole batch costs one
-        URL-id lookup, one existence mask and one vectorized version search.
+        criteria, the same fetch counting. With a politeness policy
+        configured the per-site delays are resolved in one batched pass
+        (or accepted pre-resolved via ``resolved_at``); with robots rules
+        configured the scalar loop is used verbatim. Otherwise the whole
+        batch costs one URL-id lookup, one existence mask and one
+        vectorized version search.
 
         Args:
             urls: URLs to fetch.
             times: Virtual request time per URL (same length as ``urls``).
+            resolved_at: Politeness-resolved start instant per URL, when
+                the caller already resolved (and recorded) the delays —
+                the batched crawl engine does, because it must cut batches
+                on queue dynamics. ``None`` resolves them here.
 
         Returns:
             A :class:`BatchFetchResult`; bodies are materialised on demand
@@ -217,11 +236,23 @@ class SimulatedFetcher:
         horizon = self._web.horizon_days
         arrays = self._web.oracle_arrays()
         ids, known = arrays.lookup(urls)
-        snapshot_times = np.minimum(requested, horizon)
+        if resolved_at is not None:
+            starts = np.asarray(resolved_at, dtype=float)
+        elif self._politeness is not None:
+            site_table = arrays.site_ids
+            sites = [
+                site_table[page_id] if page_id >= 0 else None
+                for page_id in ids.tolist()
+            ]
+            starts = self._politeness.earliest_allowed_many(sites, requested)
+            self._politeness.record_requests(sites, starts)
+        else:
+            starts = requested
+        snapshot_times = np.minimum(starts, horizon)
         ok = known.copy()
         if known.any():
             ok[known] = arrays.exists(ids[known], snapshot_times[known])
-        completed = np.minimum(requested + self.latency_days, horizon)
+        completed = np.minimum(starts + self.latency_days, horizon)
         self._fetch_count += len(urls)
         versions = np.zeros(len(urls), dtype=np.int64)
         if ok.any():

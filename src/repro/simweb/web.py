@@ -75,6 +75,19 @@ class OracleArrays:
     def __init__(self, pages: Sequence[SimulatedPage]) -> None:
         n = len(pages)
         self.index: Dict[str, int] = {page.url: i for i, page in enumerate(pages)}
+        # Owning site per page id, as a plain list: the batched politeness
+        # path maps url -> page id -> site id on every candidate run, and
+        # list indexing avoids boxing a NumPy scalar per read.
+        self.site_ids: List[str] = [page.site_id for page in pages]
+        # Dense integer encoding of the same column: site_index[page_id]
+        # indexes site_names. The batched politeness peek gathers per-site
+        # state through these instead of hashing site-name strings.
+        name_to_index: Dict[str, int] = {}
+        site_index = np.empty(n, dtype=np.int64)
+        for i, site_id in enumerate(self.site_ids):
+            site_index[i] = name_to_index.setdefault(site_id, len(name_to_index))
+        self.site_index: np.ndarray = site_index
+        self.site_names: List[str] = list(name_to_index)
         self.created = np.array([page.created_at for page in pages], dtype=float)
         self.deleted = np.array(
             [np.inf if page.deleted_at is None else page.deleted_at for page in pages],

@@ -94,6 +94,211 @@ class TestPolitenessPolicy:
             PolitenessPolicy(min_delay_seconds=-1.0)
 
 
+class TestNightWindowBoundaries:
+    """Float-edge behaviour at window boundaries (satellite regression)."""
+
+    def test_next_open_result_is_always_open(self):
+        # 0.3 is not binary-representable: floor(t) + 0.3 can round a few
+        # ulps below the window start, where the naive snap would return a
+        # closed instant. next_open must nudge up to the first open one.
+        window = NightWindow(start_fraction=0.3, duration_fraction=0.2)
+        for day in range(60):
+            t = day + 0.25  # closed: before the window opens
+            snapped = window.next_open(t)
+            assert window.is_open(snapped)
+            assert snapped >= t
+
+    def test_next_open_at_exact_window_start(self):
+        window = NightWindow(start_fraction=0.875, duration_fraction=0.375)
+        assert window.next_open(3.875) == 3.875
+        assert window.is_open(3.875)
+
+    def test_window_end_is_exclusive(self):
+        window = NightWindow(start_fraction=0.25, duration_fraction=0.25)
+        assert window.is_open(0.25)
+        assert not window.is_open(0.5)
+        snapped = window.next_open(0.5)
+        assert snapped == 1.25
+        assert window.is_open(snapped)
+
+    def test_is_open_array_matches_scalar(self):
+        import numpy as np
+
+        for start, duration in [(0.875, 0.375), (0.3, 0.2), (0.1, 0.1)]:
+            window = NightWindow(start_fraction=start, duration_fraction=duration)
+            rng = np.random.default_rng(5)
+            times = np.concatenate(
+                [
+                    rng.uniform(0.0, 30.0, size=500),
+                    # Exact boundary instants and their ulp neighbours.
+                    np.array(
+                        [
+                            d + start
+                            for d in range(10)
+                        ]
+                    ),
+                    np.array(
+                        [
+                            np.nextafter(d + start, -np.inf)
+                            for d in range(10)
+                        ]
+                    ),
+                ]
+            )
+            batch = window.is_open_array(times)
+            for t, open_batch in zip(times.tolist(), batch.tolist()):
+                assert open_batch == window.is_open(t)
+
+    def test_next_open_array_matches_scalar(self):
+        import numpy as np
+
+        for start, duration in [(0.875, 0.375), (0.3, 0.2), (0.7, 0.05)]:
+            window = NightWindow(start_fraction=start, duration_fraction=duration)
+            rng = np.random.default_rng(7)
+            times = rng.uniform(0.0, 30.0, size=1000)
+            batch = window.next_open_array(times)
+            for t, snapped in zip(times.tolist(), batch.tolist()):
+                assert snapped == window.next_open(t)
+                assert window.is_open(snapped)
+
+
+class TestPolitenessBatchResolution:
+    """The batch politeness API must replay the scalar recurrence exactly."""
+
+    @staticmethod
+    def _scalar_fold(policy, sites, times):
+        starts = []
+        for site, t in zip(sites, times):
+            if site is None:
+                starts.append(t)
+                continue
+            start = policy.earliest_allowed(site, t)
+            policy.record_request(site, start)
+            starts.append(start)
+        return starts
+
+    def _assert_batch_matches_scalar(self, make_policy, sites, times):
+        batch_policy = make_policy()
+        scalar_policy = make_policy()
+        batch = batch_policy.earliest_allowed_many(sites, times)
+        batch_policy.record_requests(sites, batch)
+        scalar = self._scalar_fold(scalar_policy, sites, times)
+        assert batch.tolist() == scalar
+        assert batch_policy._last_request == scalar_policy._last_request
+
+    def test_exact_min_delay_gap_is_allowed(self):
+        policy = PolitenessPolicy(min_delay_seconds=10.0)
+        delay = policy.min_delay_days
+        policy.record_request("a", 1.0)
+        # A request at exactly last + delay goes out untouched, both
+        # scalar and batched.
+        assert policy.earliest_allowed("a", 1.0 + delay) == 1.0 + delay
+        batch = policy.earliest_allowed_many(["a"], [1.0 + delay])
+        assert batch.tolist() == [1.0 + delay]
+
+    def test_batch_matches_scalar_with_delay(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        sites = [f"s{int(i)}" for i in rng.integers(0, 5, size=200)]
+        times = np.sort(rng.uniform(0.0, 0.05, size=200)).tolist()
+        self._assert_batch_matches_scalar(
+            lambda: PolitenessPolicy(min_delay_seconds=30.0), sites, times
+        )
+
+    def test_batch_matches_scalar_with_night_window(self):
+        import numpy as np
+
+        rng = np.random.default_rng(13)
+        sites = [f"s{int(i)}" for i in rng.integers(0, 4, size=150)]
+        times = np.sort(rng.uniform(0.0, 3.0, size=150)).tolist()
+        self._assert_batch_matches_scalar(
+            lambda: PolitenessPolicy(
+                min_delay_seconds=0.0, night_window=NightWindow()
+            ),
+            sites,
+            times,
+        )
+
+    def test_batch_matches_scalar_with_both_and_awkward_window(self):
+        import numpy as np
+
+        rng = np.random.default_rng(17)
+        sites = [f"s{int(i)}" for i in rng.integers(0, 3, size=150)]
+        sites = [None if i % 29 == 0 else s for i, s in enumerate(sites)]
+        times = np.sort(rng.uniform(0.0, 2.0, size=150)).tolist()
+        self._assert_batch_matches_scalar(
+            lambda: PolitenessPolicy(
+                min_delay_seconds=1800.0,
+                night_window=NightWindow(start_fraction=0.3, duration_fraction=0.2),
+            ),
+            sites,
+            times,
+        )
+
+    def test_batch_at_exact_boundary_instants(self):
+        """Request times sitting exactly on last + delay and exactly on the
+        window start resolve identically through both paths."""
+        window = NightWindow(start_fraction=0.875, duration_fraction=0.375)
+        policy = PolitenessPolicy(min_delay_seconds=10.0, night_window=window)
+        delay = policy.min_delay_days
+        policy.record_request("a", 0.875)
+        times = [0.875 + delay, 0.875 + 2 * delay, 1.875]
+        sites = ["a", "a", "a"]
+        scalar_policy = PolitenessPolicy(min_delay_seconds=10.0, night_window=window)
+        scalar_policy.record_request("a", 0.875)
+        batch = policy.earliest_allowed_many(sites, times)
+        scalar = self._scalar_fold(scalar_policy, sites, times)
+        assert batch.tolist() == scalar
+
+    def test_peek_does_not_mutate_state(self):
+        policy = PolitenessPolicy(min_delay_seconds=10.0, night_window=NightWindow())
+        policy.record_request("a", 0.9)
+        before = dict(policy._last_request)
+        policy.earliest_allowed_many(["a", "b", "a"], [0.9, 0.9, 0.9])
+        assert policy._last_request == before
+
+    def test_indexed_api_matches_string_api(self):
+        """The integer-site batch API (the crawl engine's hot path) must
+        resolve and commit exactly like the string API, across chunks and
+        interleaved scalar records, including pre-existing state."""
+        import numpy as np
+
+        site_names = [f"s{i}" for i in range(6)]
+        rng = np.random.default_rng(23)
+
+        def make_policy():
+            policy = PolitenessPolicy(
+                min_delay_seconds=1800.0,
+                night_window=NightWindow(start_fraction=0.3, duration_fraction=0.2),
+            )
+            policy.record_request("s1", 0.05)  # state predating the mirror
+            return policy
+
+        indexed = make_policy()
+        stringed = make_policy()
+        t = 0.1
+        for chunk_size in (1, 7, 40, 3, 25):
+            idx = rng.integers(-1, 6, size=chunk_size)
+            times = np.sort(rng.uniform(t, t + 0.4, size=chunk_size))
+            t = float(times[-1])
+            sites = [site_names[i] if i >= 0 else None for i in idx.tolist()]
+            got = indexed.earliest_allowed_many_indexed(
+                idx.astype(np.int64), site_names, times
+            )
+            want = stringed.earliest_allowed_many(sites, times)
+            assert got.tolist() == want.tolist()
+            cut = chunk_size // 2 + 1  # commit a prefix, drop the tail
+            indexed.record_requests_indexed(idx[:cut].astype(np.int64), got[:cut])
+            stringed.record_requests(sites[:cut], want[:cut])
+            assert indexed._last_request == stringed._last_request
+            # Scalar records (the m==1 fast path) must keep the dense
+            # mirror in sync with the dict.
+            indexed.record_request("s2", t)
+            stringed.record_request("s2", t)
+        assert indexed._last_request == stringed._last_request
+
+
 class TestRobotsRules:
     def test_excluded_site(self):
         rules = RobotsRules(excluded_sites=["bad.com"])
