@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke test, exercised at the CLI level.
+
+Three runs of the same spec:
+
+1. an uninterrupted run with a SQLite store (the reference);
+2. a run against a second store that is SIGKILLed as soon as its first
+   checkpoint lands (before any result is written);
+3. ``run-spec --resume`` against the killed store.
+
+The resumed run must reproduce the uninterrupted run's result exactly —
+summary, series, spec hash — and the two stores must hold identical
+per-URL records (fetch timestamps included). This is the paper's
+"incremental crawler you can stop and restart" property, end to end.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/kill_resume_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SPEC = {
+    "name": "kill-resume-smoke",
+    "kind": "crawl",
+    "web": {
+        "site_scale": 0.08,
+        "pages_per_site": 30,
+        "horizon_days": 127.0,
+        "new_page_fraction": 0.25,
+        "seed": 42,
+    },
+    "crawler": {
+        "kind": "incremental",
+        "collection_capacity": 200,
+        "crawl_budget_per_day": 2000.0,
+        "duration_days": 60.0,
+        "measurement_interval_days": 0.5,
+        "track_quality": True,
+        "storage": "sqlite",
+        "checkpoint_every": 1.0,
+    },
+}
+
+POLL_SECONDS = 0.02
+KILL_TIMEOUT_SECONDS = 120.0
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(REPO, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+def run_spec(spec_path: str, *extra: str) -> None:
+    subprocess.run(
+        [sys.executable, "-m", "repro", "run-spec", spec_path, *extra],
+        cwd=REPO,
+        env=cli_env(),
+        check=True,
+        stdout=subprocess.DEVNULL,
+    )
+
+
+def state_keys(store: str) -> set:
+    """State-table keys currently in the store ('' set while unreadable)."""
+    try:
+        conn = sqlite3.connect(f"file:{store}?mode=ro", uri=True, timeout=0.1)
+    except sqlite3.OperationalError:
+        return set()
+    try:
+        rows = conn.execute("SELECT key FROM state").fetchall()
+    except sqlite3.OperationalError:
+        return set()
+    finally:
+        conn.close()
+    return {key for (key,) in rows}
+
+
+def records_table(store: str) -> list:
+    conn = sqlite3.connect(f"file:{store}?mode=ro", uri=True)
+    try:
+        return conn.execute(
+            "SELECT url, fetched_at, first_fetched_at, visit_count,"
+            " change_count, checksum, importance FROM records ORDER BY url"
+        ).fetchall()
+    finally:
+        conn.close()
+
+
+def result_doc(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="kill-resume-smoke-")
+    spec_path = os.path.join(tmp, "spec.json")
+    with open(spec_path, "w", encoding="utf-8") as handle:
+        json.dump(SPEC, handle)
+    store_a = os.path.join(tmp, "uninterrupted.sqlite")
+    store_b = os.path.join(tmp, "killed.sqlite")
+    out_a = os.path.join(tmp, "a.json")
+    out_b = os.path.join(tmp, "b.json")
+
+    print("[1/3] uninterrupted run ...")
+    run_spec(spec_path, "--store", store_a, "--out", out_a, "--compact")
+
+    print("[2/3] run to first checkpoint, then SIGKILL ...")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run-spec", spec_path,
+         "--store", store_b, "--out", out_b, "--compact"],
+        cwd=REPO,
+        env=cli_env(),
+        stdout=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + KILL_TIMEOUT_SECONDS
+    killed = False
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                "FAIL: the run finished before its first checkpoint could be "
+                "observed; enlarge the spec so the kill window exists"
+            )
+        keys = state_keys(store_b)
+        if "result" in keys:
+            raise SystemExit(
+                "FAIL: result row appeared before the kill; the run was "
+                "too fast for this machine"
+            )
+        if "checkpoint" in keys:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+            killed = True
+            break
+        time.sleep(POLL_SECONDS)
+    if not killed:
+        proc.kill()
+        proc.wait()
+        raise SystemExit("FAIL: no checkpoint observed before the timeout")
+    assert proc.returncode == -signal.SIGKILL, proc.returncode
+    keys_after_kill = state_keys(store_b)
+    assert "checkpoint" in keys_after_kill and "result" not in keys_after_kill
+    assert not os.path.exists(out_b), "killed run must not have written a result"
+    print(f"      killed mid-run (returncode {proc.returncode})")
+
+    print("[3/3] resume from the checkpoint ...")
+    run_spec(spec_path, "--store", store_b, "--resume", "--out", out_b, "--compact")
+
+    a = result_doc(out_a)
+    b = result_doc(out_b)
+    for key in ("name", "kind", "summary", "series"):
+        if a[key] != b[key]:
+            raise SystemExit(f"FAIL: resumed run differs from uninterrupted in {key!r}")
+    if a["provenance"]["spec_hash"] != b["provenance"]["spec_hash"]:
+        raise SystemExit("FAIL: spec hash mismatch between runs")
+
+    rows_a = records_table(store_a)
+    rows_b = records_table(store_b)
+    if rows_a != rows_b:
+        raise SystemExit(
+            "FAIL: the two stores hold different records "
+            f"({len(rows_a)} vs {len(rows_b)} rows)"
+        )
+
+    print(
+        f"PASS: resumed run is bit-identical to the uninterrupted run "
+        f"({len(rows_a)} records, mean freshness "
+        f"{a['summary']['mean_freshness']:.4f})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

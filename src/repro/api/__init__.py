@@ -3,8 +3,8 @@
 The package turns experiments into *data*:
 
 * :mod:`repro.api.registry` — plugin registries for revisit policies,
-  change-rate estimators, page change models and canned scenarios
-  (``@register_revisit_policy`` and friends);
+  change-rate estimators, page change models, canned scenarios and storage
+  backends (``@register_revisit_policy`` and friends);
 * :mod:`repro.api.specs` — frozen, JSON-round-trippable spec dataclasses
   (:class:`WebSpec`, :class:`PolicySpec`, :class:`CrawlerSpec`,
   :class:`ExperimentSpec`) with validation and a stable content hash;
@@ -29,12 +29,14 @@ from repro.api.registry import (
     ESTIMATORS,
     REVISIT_POLICIES,
     SCENARIOS,
+    STORAGE_BACKENDS,
     Registry,
     UnknownEntryError,
     register_change_model,
     register_estimator,
     register_revisit_policy,
     register_scenario,
+    register_storage_backend,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers only
@@ -53,12 +55,14 @@ __all__ = [
     "ESTIMATORS",
     "REVISIT_POLICIES",
     "SCENARIOS",
+    "STORAGE_BACKENDS",
     "Registry",
     "UnknownEntryError",
     "register_change_model",
     "register_estimator",
     "register_revisit_policy",
     "register_scenario",
+    "register_storage_backend",
     "CrawlerSpec",
     "ExperimentSpec",
     "PolicySpec",

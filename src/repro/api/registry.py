@@ -1,8 +1,8 @@
 """Plugin registries for the declarative experiment API.
 
 Every extensible choice in the reproduction — revisit policies, change-rate
-estimators, page change models and canned experiment scenarios — is a named
-entry in one of the registries below. Configuration objects and
+estimators, page change models, storage backends and canned experiment
+scenarios — is a named entry in one of the registries below. Configuration objects and
 :class:`~repro.api.specs.ExperimentSpec` resolve those names through the
 registries instead of hard-coded string comparisons, so a new policy (or
 scenario) only needs a ``@register_*`` decorator to become available to the
@@ -139,8 +139,12 @@ ESTIMATORS = Registry("estimator")
 CHANGE_MODELS = Registry("change model")
 #: Canned experiment scenarios: name -> scenario function (see repro.api.scenarios).
 SCENARIOS = Registry("scenario")
+#: Collection storage backends: name -> StorageBackend factory
+#: (see repro.storage.backends).
+STORAGE_BACKENDS = Registry("storage backend")
 
 register_revisit_policy = REVISIT_POLICIES.register
 register_estimator = ESTIMATORS.register
 register_change_model = CHANGE_MODELS.register
 register_scenario = SCENARIOS.register
+register_storage_backend = STORAGE_BACKENDS.register

@@ -26,11 +26,18 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import __version__
-from repro.api.registry import SCENARIOS
+from repro.api.registry import SCENARIOS, STORAGE_BACKENDS
 from repro.api.specs import ExperimentSpec, PolicySpec, WebSpec
 from repro.api import scenarios as _scenarios  # noqa: F401  (registration side effect)
 from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
 from repro.core.periodic_crawler import PeriodicCrawler, PeriodicCrawlerConfig
+from repro.storage import backends as _backends  # noqa: F401  (registration side effect)
+from repro.storage.backends import StorageBackend
+from repro.storage.checkpoint import (
+    RESULT_STATE_KEY,
+    CollectionJournal,
+    CrawlCheckpointer,
+)
 from repro.experiment.change_interval import analyze_change_intervals
 from repro.experiment.lifespan_analysis import analyze_lifespans
 from repro.experiment.monitor import ActiveMonitor
@@ -85,8 +92,66 @@ class ExperimentResult:
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
-        """The result as JSON text."""
-        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+        """The result as JSON text.
+
+        Raises:
+            TypeError: When a non-serializable object leaked into ``series``,
+                ``summary`` or ``tables`` — named by its dotted path, so the
+                failure points at the offending entry instead of surfacing as
+                an opaque error deep inside ``json.dumps``. Heavy in-memory
+                objects belong in ``result.artifacts`` (never serialized).
+        """
+        payload = self.to_dict()
+        try:
+            return json.dumps(payload, sort_keys=True, indent=indent)
+        except (TypeError, ValueError) as error:
+            path = _first_unserializable(payload)
+            location = path if path is not None else "an unknown entry"
+            raise TypeError(
+                f"ExperimentResult is not JSON-serializable at {location}; "
+                "heavy in-memory objects belong in result.artifacts, which "
+                "is never serialized"
+            ) from error
+
+
+def _first_unserializable(value: Any, path: str = "result") -> Optional[str]:
+    """Dotted path of the first JSON-unserializable entry, or ``None``.
+
+    Walks the payload exactly as ``json.dumps`` would (mappings, sequences,
+    scalars), tracking the container stack so circular references are
+    reported rather than recursed into.
+    """
+    return _walk_unserializable(value, path, set())
+
+
+def _walk_unserializable(value: Any, path: str, stack: set) -> Optional[str]:
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return None
+    if id(value) in stack:
+        return f"{path} (circular reference)"
+    if isinstance(value, Mapping):
+        stack.add(id(value))
+        try:
+            for key, item in value.items():
+                if key is not None and not isinstance(key, (str, int, float, bool)):
+                    return f"{path} key {key!r} ({type(key).__name__})"
+                found = _walk_unserializable(item, f"{path}.{key}", stack)
+                if found is not None:
+                    return found
+        finally:
+            stack.discard(id(value))
+        return None
+    if isinstance(value, (list, tuple)):
+        stack.add(id(value))
+        try:
+            for index, item in enumerate(value):
+                found = _walk_unserializable(item, f"{path}[{index}]", stack)
+                if found is not None:
+                    return found
+        finally:
+            stack.discard(id(value))
+        return None
+    return f"{path} ({type(value).__name__})"
 
 
 def build_web(spec: WebSpec, seed: Optional[int] = None) -> SimulatedWeb:
@@ -94,7 +159,13 @@ def build_web(spec: WebSpec, seed: Optional[int] = None) -> SimulatedWeb:
     return generate_web(spec.to_generator_config(seed=seed))
 
 
-def run(spec: ExperimentSpec, web: Optional[SimulatedWeb] = None) -> ExperimentResult:
+def run(
+    spec: ExperimentSpec,
+    web: Optional[SimulatedWeb] = None,
+    *,
+    store: Optional[str] = None,
+    resume: bool = False,
+) -> ExperimentResult:
     """Execute an experiment spec end to end.
 
     Args:
@@ -102,29 +173,107 @@ def run(spec: ExperimentSpec, web: Optional[SimulatedWeb] = None) -> ExperimentR
         web: Optional pre-generated web to crawl/monitor instead of
             generating one from ``spec.web`` (used by the matrix runner to
             share webs across cells; ignored for scenario experiments).
+        store: Optional path for the storage backend named by
+            ``spec.crawler.storage`` (e.g. a SQLite file). Defaults to the
+            backend's volatile/in-memory form when omitted.
+        resume: Continue a killed run from the last checkpoint in the
+            store (requires ``spec.crawler.checkpoint_every``). When the
+            store already holds the run's final result, it is returned
+            without re-running anything; the resumed run is bit-identical
+            to an uninterrupted one.
 
     Returns:
         A structured :class:`ExperimentResult` with provenance.
     """
     started = time.perf_counter()
-    if spec.kind == "crawl":
-        series, summary, tables, artifacts = _run_crawl(spec, web)
-    elif spec.kind == "monitor":
-        series, summary, tables, artifacts = _run_monitor(spec, web)
-    elif spec.kind == "scenario":
-        series, summary, tables, artifacts = _run_scenario(spec)
-    else:  # pragma: no cover - ExperimentSpec already validates the kind
-        raise ValueError(f"unknown experiment kind {spec.kind!r}")
+    backend = _open_backend(spec, store, resume)
+    try:
+        if backend is not None and resume:
+            saved = backend.load_state(RESULT_STATE_KEY)
+            if saved is not None:
+                return _result_from_state(spec, saved, time.perf_counter() - started)
+        if spec.kind == "crawl":
+            series, summary, tables, artifacts = _run_crawl(
+                spec, web, backend=backend, resume=resume
+            )
+        elif spec.kind == "monitor":
+            series, summary, tables, artifacts = _run_monitor(spec, web)
+        elif spec.kind == "scenario":
+            series, summary, tables, artifacts = _run_scenario(spec)
+        else:  # pragma: no cover - ExperimentSpec already validates the kind
+            raise ValueError(f"unknown experiment kind {spec.kind!r}")
+        result = ExperimentResult(
+            name=spec.name,
+            kind=spec.kind,
+            spec_hash=spec.spec_hash(),
+            seed=spec.effective_seed(),
+            wall_time_seconds=time.perf_counter() - started,
+            series=series,
+            summary=summary,
+            tables=tables,
+            artifacts=artifacts,
+        )
+        if backend is not None:
+            backend.save_state(
+                RESULT_STATE_KEY,
+                {
+                    "name": result.name,
+                    "kind": result.kind,
+                    "spec_hash": result.spec_hash,
+                    "seed": result.seed,
+                    "series": result.series,
+                    "summary": result.summary,
+                    "tables": result.tables,
+                },
+            )
+            backend.flush()
+        return result
+    finally:
+        if backend is not None:
+            backend.close()
+
+
+def _open_backend(
+    spec: ExperimentSpec, store: Optional[str], resume: bool
+) -> Optional[StorageBackend]:
+    """Instantiate the spec's storage backend, or ``None`` when unset."""
+    storage = spec.crawler.storage if spec.crawler is not None else None
+    if storage is None:
+        if store is not None:
+            raise ValueError(
+                "store= was given but the spec names no storage backend; "
+                "set crawler.storage (e.g. 'sqlite')"
+            )
+        if resume:
+            raise ValueError(
+                "resume requires a storage backend; set crawler.storage "
+                "and crawler.checkpoint_every in the spec"
+            )
+        return None
+    return STORAGE_BACKENDS.create(storage, path=store)
+
+
+def _result_from_state(
+    spec: ExperimentSpec, saved: Dict[str, Any], elapsed: float
+) -> ExperimentResult:
+    """Rebuild a completed run's result from its persisted state doc."""
+    stored_hash = saved.get("spec_hash")
+    if stored_hash != spec.spec_hash():
+        raise ValueError(
+            "the store holds a result for a different spec "
+            f"(stored {str(stored_hash)[:12]}..., expected "
+            f"{spec.spec_hash()[:12]}...)"
+        )
     return ExperimentResult(
-        name=spec.name,
-        kind=spec.kind,
-        spec_hash=spec.spec_hash(),
-        seed=spec.effective_seed(),
-        wall_time_seconds=time.perf_counter() - started,
-        series=series,
-        summary=summary,
-        tables=tables,
-        artifacts=artifacts,
+        name=saved["name"],
+        kind=saved["kind"],
+        spec_hash=stored_hash,
+        seed=saved.get("seed"),
+        wall_time_seconds=elapsed,
+        series=dict(saved.get("series", {})),
+        summary=dict(saved.get("summary", {})),
+        tables=dict(saved.get("tables", {})),
+        artifacts={},
     )
 
 
@@ -134,7 +283,12 @@ def run(spec: ExperimentSpec, web: Optional[SimulatedWeb] = None) -> ExperimentR
 _RunPayload = Tuple[Dict[str, List[float]], Dict[str, Any], Dict[str, Any], Dict[str, Any]]
 
 
-def _run_crawl(spec: ExperimentSpec, web: Optional[SimulatedWeb]) -> _RunPayload:
+def _run_crawl(
+    spec: ExperimentSpec,
+    web: Optional[SimulatedWeb],
+    backend: Optional[StorageBackend] = None,
+    resume: bool = False,
+) -> _RunPayload:
     assert spec.web is not None and spec.crawler is not None
     if web is None:
         web = build_web(spec.web, seed=spec.seed)
@@ -175,7 +329,38 @@ def _run_crawl(spec: ExperimentSpec, web: Optional[SimulatedWeb]) -> _RunPayload
                 engine=crawler_spec.engine,
             ),
         )
-    outcome = crawler.run(crawler_spec.duration_days, start_time=crawler_spec.start_time)
+    journal = None
+    checkpointer = None
+    resume_state = None
+    if backend is not None:
+        journal = CollectionJournal(backend)
+        if crawler_spec.checkpoint_every is not None:
+            checkpointer = CrawlCheckpointer(
+                backend, crawler_spec.checkpoint_every, spec_hash=spec.spec_hash()
+            )
+        if resume:
+            if checkpointer is None:
+                raise ValueError(
+                    "resume requires crawler.checkpoint_every in the spec"
+                )
+            resume_state = checkpointer.load()
+            if resume_state is None:
+                raise ValueError(
+                    "the store holds no checkpoint to resume from; run the "
+                    "spec without resume first"
+                )
+    if journal is not None or checkpointer is not None:
+        outcome = crawler.run(
+            crawler_spec.duration_days,
+            start_time=crawler_spec.start_time,
+            journal=journal,
+            checkpointer=checkpointer,
+            resume_state=resume_state,
+        )
+    else:
+        outcome = crawler.run(
+            crawler_spec.duration_days, start_time=crawler_spec.start_time
+        )
 
     times, freshness = outcome.freshness.as_series()
     series = {

@@ -54,10 +54,19 @@ class _SpecBase:
     """Shared to_dict/from_dict/hash machinery for the spec dataclasses."""
 
     def to_dict(self) -> Dict[str, Any]:
-        """A plain, JSON-serializable dict with every field included."""
+        """A plain, JSON-serializable dict with every field included.
+
+        Fields named by :meth:`_omit_when_none` are left out while ``None``:
+        this keeps :meth:`spec_hash` stable when new optional fields are
+        added — a spec that never sets them hashes exactly as it did before
+        the fields existed.
+        """
+        omittable = self._omit_when_none()
         out: Dict[str, Any] = {}
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
+            if value is None and spec_field.name in omittable:
+                continue
             if isinstance(value, _SpecBase):
                 value = value.to_dict()
             elif isinstance(value, Mapping):
@@ -92,6 +101,15 @@ class _SpecBase:
     def _nested_spec_fields(cls) -> Dict[str, Type["_SpecBase"]]:
         """Field name -> spec class for fields holding nested specs."""
         return {}
+
+    @classmethod
+    def _omit_when_none(cls) -> Tuple[str, ...]:
+        """Field names dropped from :meth:`to_dict` while they are ``None``.
+
+        Reserved for fields added after specs shipped, so pre-existing spec
+        hashes stay stable.
+        """
+        return ()
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Canonical JSON (sorted keys) for files and hashing."""
@@ -239,6 +257,14 @@ class CrawlerSpec(_SpecBase):
             the default) or ``"reference"`` (the pinned per-URL path).
             Both engines produce bit-identical results, with or without
             politeness.
+        storage: Optional registered storage-backend name
+            (:data:`repro.api.registry.STORAGE_BACKENDS` — ``"memory"``,
+            ``"sqlite"`` or ``"columnar"`` out of the box). When set, the
+            run journals its collection and change events into the backend;
+            incremental crawls only.
+        checkpoint_every: Optional virtual-day spacing between resumable
+            state checkpoints. Requires ``storage`` and the batched engine;
+            a killed run resumes bit-identically from its last checkpoint.
     """
 
     kind: str = "incremental"
@@ -258,6 +284,8 @@ class CrawlerSpec(_SpecBase):
     politeness_night_start: float = 0.875
     politeness_night_duration: float = 0.375
     engine: str = "batched"
+    storage: Optional[str] = None
+    checkpoint_every: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in CRAWLER_KINDS:
@@ -284,6 +312,31 @@ class CrawlerSpec(_SpecBase):
             raise ValueError("politeness_night_start must be in [0, 1)")
         if not 0.0 < self.politeness_night_duration <= 1.0:
             raise ValueError("politeness_night_duration must be in (0, 1]")
+        if self.storage is not None:
+            # Backends register on import of repro.storage.backends; import
+            # lazily to keep specs importable from domain modules.
+            from repro.api.registry import STORAGE_BACKENDS
+            import repro.storage.backends  # noqa: F401  (registration side effect)
+
+            STORAGE_BACKENDS.validate(self.storage)
+            if self.kind != "incremental":
+                raise ValueError(
+                    "storage backends are supported for incremental crawls only"
+                )
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every <= 0:
+                raise ValueError("checkpoint_every must be positive")
+            if self.storage is None:
+                raise ValueError("checkpoint_every requires a storage backend")
+            if self.engine != "batched":
+                raise ValueError(
+                    "checkpoint_every requires the batched engine (the "
+                    "reference engine's event queue cannot be snapshotted)"
+                )
+
+    @classmethod
+    def _omit_when_none(cls) -> Tuple[str, ...]:
+        return ("storage", "checkpoint_every")
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,8 @@ routes it through :func:`repro.api.runner.run`.
 ``python -m repro list-scenarios``
     List the registered scenarios, revisit policies, estimators and change
     models available to specs.
+``python -m repro list-backends``
+    List the registered storage backends a crawl spec can persist into.
 """
 
 from __future__ import annotations
@@ -31,7 +33,13 @@ import sys
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.report import format_bar_chart, format_table
-from repro.api.registry import CHANGE_MODELS, ESTIMATORS, REVISIT_POLICIES, SCENARIOS
+from repro.api.registry import (
+    CHANGE_MODELS,
+    ESTIMATORS,
+    REVISIT_POLICIES,
+    SCENARIOS,
+    STORAGE_BACKENDS,
+)
 from repro.api.runner import build_web, run
 from repro.api.specs import CrawlerSpec, ExperimentSpec, PolicySpec, WebSpec
 
@@ -103,10 +111,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--compact", action="store_true",
         help="emit compact JSON instead of indented",
     )
+    run_spec.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="path for the spec's storage backend (e.g. a SQLite file); "
+             "requires crawler.storage in the spec",
+    )
+    run_spec.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed run from its last checkpoint in the store "
+             "(requires crawler.checkpoint_every in the spec)",
+    )
 
     subparsers.add_parser(
         "list-scenarios",
         help="list registered scenarios, policies, estimators and change models",
+    )
+
+    subparsers.add_parser(
+        "list-backends",
+        help="list registered storage backends for persistent crawls",
     )
     return parser
 
@@ -122,6 +145,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare-policies": _cmd_compare_policies,
         "run-spec": _cmd_run_spec,
         "list-scenarios": _cmd_list_scenarios,
+        "list-backends": _cmd_list_backends,
     }
     return commands[args.command](args)
 
@@ -236,7 +260,7 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
         print(f"invalid experiment spec: {error}", file=sys.stderr)
         return 2
     try:
-        result = run(spec)
+        result = run(spec, store=args.store, resume=args.resume)
     except (TypeError, ValueError) as error:
         # e.g. scenario/monitor parameters rejected at call time.
         print(f"experiment failed: {error}", file=sys.stderr)
@@ -266,6 +290,20 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
             rows.append((kind, name, doc[0] if doc else ""))
     print(format_table(["kind", "name", "description"], rows,
                        title="registered experiment building blocks"))
+    return 0
+
+
+def _cmd_list_backends(args: argparse.Namespace) -> int:
+    import repro.storage.backends  # noqa: F401  (registration side effect)
+
+    rows = []
+    for name in STORAGE_BACKENDS.names():
+        factory = STORAGE_BACKENDS.get(name)
+        doc = (factory.__doc__ or "").strip().splitlines()
+        durable = "yes" if getattr(factory, "can_persist", False) else "no"
+        rows.append((name, durable, doc[0] if doc else ""))
+    print(format_table(["name", "durable", "description"], rows,
+                       title="registered storage backends"))
     return 0
 
 

@@ -111,3 +111,38 @@ class AllUrls:
             for url, info in self._urls.items()
             if url not in excluded and info.last_failed_at is None
         ]
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-serializable registry state in dict-insertion order.
+
+        Insertion order is preserved (``candidates`` iterates it); in-link
+        sets are serialized sorted, which is safe because in-links are only
+        ever counted or extended, never iterated order-sensitively.
+        """
+        return {
+            "urls": [
+                {
+                    "url": info.url,
+                    "discovered_at": info.discovered_at,
+                    "inlinks": sorted(info.inlinks),
+                    "last_failed_at": info.last_failed_at,
+                }
+                for info in self._urls.values()
+            ]
+        }
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Rebuild the registry exactly as captured by :meth:`snapshot`."""
+        self._urls = {}
+        for entry in state["urls"]:
+            url = str(entry["url"])
+            failed = entry["last_failed_at"]
+            self._urls[url] = UrlInfo(
+                url=url,
+                discovered_at=float(entry["discovered_at"]),
+                inlinks=set(entry["inlinks"]),
+                last_failed_at=None if failed is None else float(failed),
+            )

@@ -24,7 +24,6 @@ in a handful of calls instead of one heap round-trip per fetched page.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -46,12 +45,14 @@ class CollUrls:
     def __init__(self) -> None:
         self._heap: List[QueueEntry] = []
         self._scheduled: Dict[str, QueueEntry] = {}
-        self._counter = itertools.count()
+        # Plain-int counters (not itertools.count) so the queue can be
+        # snapshotted and restored exactly for checkpoint/resume.
+        self._counter = 0
         # Front-of-queue entries take sequence numbers from a *decreasing*
         # negative counter: the most recently admitted page is crawled first
         # (the paper's "placed on the top of CollUrls"), deterministically
         # and without perturbing any scheduled time.
-        self._front_counter = itertools.count(-1, -1)
+        self._front_counter = -1
 
     def __contains__(self, url: str) -> bool:
         return url in self._scheduled
@@ -66,7 +67,8 @@ class CollUrls:
         invalidated lazily. Entries scheduled at the same time keep their
         scheduling order (sequence numbers are the tie-break).
         """
-        entry = (visit_time, next(self._counter), url)
+        entry = (visit_time, self._counter, url)
+        self._counter += 1
         self._scheduled[url] = entry
         heapq.heappush(self._heap, entry)
 
@@ -84,15 +86,18 @@ class CollUrls:
         heap = self._heap
         if len(urls) * 8 > len(heap):
             for url, visit_time in zip(urls, visit_times):
-                entry = (visit_time, next(counter), url)
+                entry = (visit_time, counter, url)
+                counter += 1
                 scheduled[url] = entry
                 heap.append(entry)
             heapq.heapify(heap)
         else:
             for url, visit_time in zip(urls, visit_times):
-                entry = (visit_time, next(counter), url)
+                entry = (visit_time, counter, url)
+                counter += 1
                 scheduled[url] = entry
                 heapq.heappush(heap, entry)
+        self._counter = counter
 
     def schedule_front(self, url: str, now: float) -> None:
         """Place ``url`` at the very front of the queue.
@@ -106,7 +111,8 @@ class CollUrls:
         """
         head_time = self.peek_time()
         front_time = now if head_time is None else min(now, head_time)
-        entry = (front_time, next(self._front_counter), url)
+        entry = (front_time, self._front_counter, url)
+        self._front_counter -= 1
         self._scheduled[url] = entry
         heapq.heappush(self._heap, entry)
 
@@ -232,3 +238,37 @@ class CollUrls:
         """
         entries = sorted(self._scheduled.values())
         return [entry[2] for entry in entries]
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-serializable queue state: live entries + both counters.
+
+        Entries are emitted in canonical ``(time, sequence)`` order (not
+        dict-insertion order) so the snapshot is a pure function of the
+        queue contents, independent of the operational path taken.
+        """
+        return {
+            "entries": [list(entry) for entry in sorted(self._scheduled.values())],
+            "next_sequence": self._counter,
+            "next_front_sequence": self._front_counter,
+        }
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Rebuild the queue exactly as captured by :meth:`snapshot`.
+
+        Each entry tuple is built once and shared between the heap and the
+        URL map, preserving the identity-based lazy-deletion invariant.
+        """
+        heap: List[QueueEntry] = []
+        scheduled: Dict[str, QueueEntry] = {}
+        for time, sequence, url in state["entries"]:
+            entry = (float(time), int(sequence), str(url))
+            scheduled[entry[2]] = entry
+            heap.append(entry)
+        heapq.heapify(heap)
+        self._heap = heap
+        self._scheduled = scheduled
+        self._counter = int(state["next_sequence"])
+        self._front_counter = int(state["next_front_sequence"])

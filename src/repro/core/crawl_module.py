@@ -91,6 +91,9 @@ class CrawlModule:
         # the scalar path and are skipped outright in the batched one.
         self._stored_versions: Dict[str, int] = {}
         self._links_recorded: Set[str] = set()
+        # Optional CollectionJournal mirroring stored records and change
+        # events into a storage backend (set by IncrementalCrawler.run).
+        self.journal = None
 
     @property
     def collection(self) -> Collection:
@@ -281,4 +284,29 @@ class CrawlModule:
     def discard(self, url: str) -> Optional[PageRecord]:
         """Remove a page from the working collection (refinement decision)."""
         self._stored_versions.pop(url, None)
-        return self._collection.discard(url)
+        discarded = self._collection.discard(url)
+        if discarded is not None and self.journal is not None:
+            self.journal.on_discard(url)
+        return discarded
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-serializable module state (counters + batched bookkeeping)."""
+        return {
+            "pages_fetched": self.pages_fetched,
+            "pages_failed": self.pages_failed,
+            "stored_versions": dict(self._stored_versions),
+            "links_recorded": sorted(self._links_recorded),
+        }
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Rebuild module state exactly as captured by :meth:`snapshot`."""
+        self.pages_fetched = int(state["pages_fetched"])
+        self.pages_failed = int(state["pages_failed"])
+        self._stored_versions = {
+            str(url): int(version)
+            for url, version in state["stored_versions"].items()
+        }
+        self._links_recorded = set(state["links_recorded"])

@@ -56,7 +56,13 @@ from repro.simulation.clock import VirtualClock
 from repro.simulation.events import EventQueue, StreamScheduler
 from repro.simulation.freshness_tracker import FreshnessTimeSeries, FreshnessTracker
 from repro.simweb.web import SimulatedWeb
+from repro.storage.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CollectionJournal,
+    CrawlCheckpointer,
+)
 from repro.storage.collection import InPlaceCollection
+from repro.storage.records import record_from_dict, record_to_dict
 
 #: Engines :meth:`IncrementalCrawler.run` can execute with.
 CRAWL_ENGINES: Tuple[str, ...] = ("batched", "reference")
@@ -273,7 +279,15 @@ class IncrementalCrawler:
     # ------------------------------------------------------------------ #
     # Running
     # ------------------------------------------------------------------ #
-    def run(self, duration_days: float, start_time: float = 0.0) -> CrawlRunResult:
+    def run(
+        self,
+        duration_days: float,
+        start_time: float = 0.0,
+        *,
+        journal: Optional[CollectionJournal] = None,
+        checkpointer: Optional[CrawlCheckpointer] = None,
+        resume_state: Optional[dict] = None,
+    ) -> CrawlRunResult:
         """Run the crawler for ``duration_days`` of virtual time.
 
         Dispatches to the engine named by the configuration: the batched
@@ -283,6 +297,18 @@ class IncrementalCrawler:
         Args:
             duration_days: How long to run.
             start_time: Virtual time at which the run starts.
+            journal: Optional :class:`CollectionJournal` mirroring records
+                and change events into a storage backend as the crawl
+                proceeds (works on both engines).
+            checkpointer: Optional :class:`CrawlCheckpointer` persisting
+                resumable state snapshots at event boundaries (batched
+                engine only — the reference engine's event queue holds
+                closures, which cannot be serialized).
+            resume_state: A checkpoint previously written by this
+                configuration, loaded via ``CrawlCheckpointer.load()``. The
+                crawler must be freshly constructed; the run continues from
+                the checkpoint and produces results bit-identical to an
+                uninterrupted run.
 
         Returns:
             A :class:`CrawlRunResult` with freshness/quality series and
@@ -290,6 +316,13 @@ class IncrementalCrawler:
         """
         if duration_days <= 0:
             raise ValueError("duration_days must be positive")
+        if (checkpointer is not None or resume_state is not None) and (
+            self._config.engine != "batched"
+        ):
+            raise ValueError(
+                "checkpoint/resume requires the batched engine; the reference "
+                "engine's event queue holds closures and cannot be snapshotted"
+            )
         end_time = min(start_time + duration_days, self._web.horizon_days)
 
         tracker = FreshnessTracker(
@@ -298,11 +331,29 @@ class IncrementalCrawler:
             denominator=self._config.collection_capacity,
         )
         result = CrawlRunResult(freshness=tracker.series, duration_days=duration_days)
+        self._crawl_module.journal = journal
 
-        self._bootstrap(start_time)
+        scheduler: Optional[StreamScheduler] = None
+        if resume_state is not None:
+            scheduler = self._restore_state(
+                resume_state, start_time, duration_days, tracker, result, journal
+            )
+            if checkpointer is not None:
+                checkpointer.start(float(resume_state["checkpoint_at"]))
+        else:
+            self._bootstrap(start_time)
+            if checkpointer is not None:
+                checkpointer.start(start_time)
 
         if self._config.engine == "batched":
-            self._run_batched(start_time, end_time, tracker, result)
+            self._run_batched(
+                start_time,
+                end_time,
+                tracker,
+                result,
+                checkpointer=checkpointer,
+                scheduler=scheduler,
+            )
         else:
             self._run_reference(start_time, end_time, tracker, result)
 
@@ -334,6 +385,7 @@ class IncrementalCrawler:
         def ranking_step(at: float) -> None:
             refinement = self._ranking_module.refine(at)
             self._update_module.set_importance(refinement.importance)
+            self._refresh_journal_records()
             queue.schedule(
                 at + self._config.ranking_interval_days, ranking_step, label="ranking"
             )
@@ -357,6 +409,8 @@ class IncrementalCrawler:
         end_time: float,
         tracker: FreshnessTracker,
         result: CrawlRunResult,
+        checkpointer: Optional[CrawlCheckpointer] = None,
+        scheduler: Optional[StreamScheduler] = None,
     ) -> None:
         """The batched engine: crawl slots drained one tick window at a time.
 
@@ -369,19 +423,32 @@ class IncrementalCrawler:
         now and later in the run — resolves identically. Slot times are
         accumulated with the same float additions the reference engine
         performs, keeping fetch timestamps bit-identical.
+
+        Checkpoints are taken at the top of the loop, *before* the head
+        event pops: the snapshot reads state only (no sequence numbers are
+        consumed, no float is recomputed), so a checkpointed run is the same
+        run — and a resume restores the scheduler with the head event still
+        pending, replaying it exactly as the uninterrupted run would have.
         """
-        scheduler = StreamScheduler()
+        if scheduler is None:
+            scheduler = StreamScheduler()
+            scheduler.schedule(start_time, "crawl")
+            scheduler.schedule(start_time, "ranking")
+            scheduler.schedule(start_time, "measure")
         crawl_period = 1.0 / self._config.crawl_budget_per_day
         epsilon = 1e-12
-
-        scheduler.schedule(start_time, "crawl")
-        scheduler.schedule(start_time, "ranking")
-        scheduler.schedule(start_time, "measure")
 
         while True:
             head = scheduler.peek()
             if head is None or head[0] > end_time + epsilon:
                 break
+            if checkpointer is not None and checkpointer.due(head[0]):
+                checkpointer.save(
+                    self._snapshot_state(
+                        head[0], start_time, end_time, scheduler, tracker, result
+                    ),
+                    head[0],
+                )
             at, _sequence, label = scheduler.pop()
             if label == "crawl":
                 # Fold every crawl slot that precedes the next other-stream
@@ -417,6 +484,7 @@ class IncrementalCrawler:
             elif label == "ranking":
                 refinement = self._ranking_module.refine(at)
                 self._update_module.set_importance(refinement.importance)
+                self._refresh_journal_records()
                 scheduler.schedule(at + self._config.ranking_interval_days, "ranking")
             else:
                 tracker.sample(at)
@@ -449,3 +517,135 @@ class IncrementalCrawler:
         quality = self._quality_cache.quality(self._collection.current_urls())
         result.quality.append(quality)
         result.quality_times.append(at)
+
+    def _refresh_journal_records(self) -> None:
+        """Mirror the full collection after a ranking scan rewrote importance."""
+        journal = self._crawl_module.journal
+        if journal is not None:
+            journal.refresh_records(self._collection.working_records())
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / resume
+    # ------------------------------------------------------------------ #
+    def _snapshot_state(
+        self,
+        at: float,
+        start_time: float,
+        end_time: float,
+        scheduler: StreamScheduler,
+        tracker: FreshnessTracker,
+        result: CrawlRunResult,
+    ) -> dict:
+        """Assemble a JSON-serializable snapshot of the full crawler state.
+
+        Taken with the head event still pending on the scheduler: restoring
+        this state into a freshly constructed crawler replays the run from
+        here bit-identically. Every float travels verbatim (JSON round-trips
+        doubles exactly) and dict insertion order — which feeds ordered
+        float reductions in the UpdateModule — survives serialization.
+        """
+        journal = self._crawl_module.journal
+        politeness = self._fetcher.politeness
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "engine": "batched",
+            "start_time": start_time,
+            "end_time": end_time,
+            "duration_days": result.duration_days,
+            "checkpoint_at": at,
+            "scheduler": scheduler.snapshot(),
+            "collurls": self._collurls.snapshot(),
+            "collection": [
+                record_to_dict(record)
+                for record in self._collection.working_records()
+            ],
+            "allurls": self._allurls.snapshot(),
+            "update": self._update_module.snapshot(),
+            "crawl": self._crawl_module.snapshot(),
+            "ranking": self._ranking_module.snapshot(),
+            "fetch_count": self._fetcher.fetch_count,
+            "politeness": politeness.snapshot() if politeness is not None else None,
+            "freshness": {
+                "times": list(tracker.series.times),
+                "freshness": list(tracker.series.freshness),
+                "age": list(tracker.series.age),
+            },
+            "quality": {
+                "times": list(result.quality_times),
+                "values": list(result.quality),
+            },
+            "journal": journal.snapshot() if journal is not None else None,
+        }
+
+    def _restore_state(
+        self,
+        state: dict,
+        start_time: float,
+        duration_days: float,
+        tracker: FreshnessTracker,
+        result: CrawlRunResult,
+        journal: Optional[CollectionJournal],
+    ) -> StreamScheduler:
+        """Rebuild crawler state from a checkpoint and return the scheduler.
+
+        The crawler must be freshly constructed (as after a process kill):
+        restoration *replays* collection stores in checkpoint order so the
+        repository's insertion order — and with it every scan order
+        downstream — matches the uninterrupted run.
+        """
+        fmt = state.get("format")
+        if fmt != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"unsupported checkpoint format {fmt!r} "
+                f"(this build reads format {CHECKPOINT_FORMAT})"
+            )
+        if float(state["start_time"]) != start_time:
+            raise ValueError(
+                f"checkpoint was taken for start_time={state['start_time']}, "
+                f"got {start_time}"
+            )
+        if float(state["duration_days"]) != duration_days:
+            raise ValueError(
+                f"checkpoint was taken for duration_days={state['duration_days']}, "
+                f"got {duration_days}"
+            )
+
+        scheduler = StreamScheduler()
+        scheduler.restore_snapshot(state["scheduler"])
+        self._collurls.restore_snapshot(state["collurls"])
+        for payload in state["collection"]:
+            self._collection.store(record_from_dict(payload))
+        self._allurls.restore_snapshot(state["allurls"])
+        self._update_module.restore_snapshot(state["update"])
+        self._crawl_module.restore_snapshot(state["crawl"])
+        self._ranking_module.restore_snapshot(state["ranking"])
+        self._fetcher.fetch_count = int(state["fetch_count"])
+
+        politeness = self._fetcher.politeness
+        saved_politeness = state.get("politeness")
+        if politeness is not None:
+            if saved_politeness is None:
+                raise ValueError(
+                    "checkpoint was taken without politeness but this "
+                    "configuration enables it"
+                )
+            politeness.restore_snapshot(saved_politeness)
+        elif saved_politeness is not None:
+            raise ValueError(
+                "checkpoint was taken with politeness but this "
+                "configuration disables it"
+            )
+
+        # ``result.freshness`` *is* ``tracker.series`` (same object), so
+        # restoring the tracker restores the result series too.
+        freshness = state["freshness"]
+        tracker.series.times[:] = [float(t) for t in freshness["times"]]
+        tracker.series.freshness[:] = [float(f) for f in freshness["freshness"]]
+        tracker.series.age[:] = [float(a) for a in freshness["age"]]
+        quality = state["quality"]
+        result.quality[:] = [float(v) for v in quality["values"]]
+        result.quality_times[:] = [float(t) for t in quality["times"]]
+
+        if journal is not None and state.get("journal") is not None:
+            journal.restore_snapshot(state["journal"])
+        return scheduler

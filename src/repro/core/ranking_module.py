@@ -164,6 +164,23 @@ class RankingModule:
         }
 
     # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-serializable module counters (all other state is derived)."""
+        return {
+            "scans_completed": self.scans_completed,
+            "pages_replaced": self.pages_replaced,
+            "pages_admitted": self.pages_admitted,
+        }
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Restore the counters captured by :meth:`snapshot`."""
+        self.scans_completed = int(state["scans_completed"])
+        self.pages_replaced = int(state["pages_replaced"])
+        self.pages_admitted = int(state["pages_admitted"])
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _compute_importance(self) -> Dict[str, float]:

@@ -125,12 +125,18 @@ class UpdateModule:
             # replacement page on its next scan.
             self._forget(url)
             self._crawl_module.discard(url)
+            journal = self._crawl_module.journal
+            if journal is not None:
+                journal.on_outcome(outcome, self._crawl_module.collection)
             return outcome
 
         self._observe(url, completed, outcome)
         self._maybe_reallocate(completed)
         next_visit = completed + self._interval_for(url)
         self._collurls.schedule(url, next_visit)
+        journal = self._crawl_module.journal
+        if journal is not None:
+            journal.on_outcome(outcome, self._crawl_module.collection)
         return outcome
 
     # ------------------------------------------------------------------ #
@@ -698,6 +704,9 @@ class UpdateModule:
                     for url, completed_i in zip(reschedule_urls, reschedule_completed)
                 ],
             )
+        journal = self._crawl_module.journal
+        if journal is not None:
+            journal.on_batch(outcome, self._crawl_module.collection)
         return outcome
 
     # ------------------------------------------------------------------ #
@@ -791,3 +800,53 @@ class UpdateModule:
         self._estimator.forget(url)
         self._rate_estimates.pop(url, None)
         self._intervals.pop(url, None)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-serializable module state.
+
+        Dict key order is semantic and survives the JSON round trip (both
+        ``json.dumps`` and ``json.loads`` preserve object member order):
+        ``rate_estimates`` insertion order feeds :meth:`_maybe_reallocate`'s
+        float reductions, which are ulp-sensitive to summation order.
+        """
+        return {
+            "histories": {
+                url: history.state_dict()
+                for url, history in self._histories.items()
+            },
+            "rate_estimates": dict(self._rate_estimates),
+            "intervals": dict(self._intervals),
+            "importance": dict(self._importance),
+            "last_reallocation": self._last_reallocation,
+            "estimator": self._estimator.state_dict(),
+            "pages_processed": self.pages_processed,
+            "changes_detected": self.changes_detected,
+        }
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Rebuild module state exactly as captured by :meth:`snapshot`."""
+        self._histories = {
+            str(url): ChangeHistory.from_state(history_state)
+            for url, history_state in state["histories"].items()
+        }
+        self._rate_estimates = {
+            str(url): float(rate) for url, rate in state["rate_estimates"].items()
+        }
+        self._intervals = {
+            str(url): float(interval)
+            for url, interval in state["intervals"].items()
+        }
+        self._importance = {
+            str(url): float(score) for url, score in state["importance"].items()
+        }
+        last = state["last_reallocation"]
+        self._last_reallocation = None if last is None else float(last)
+        self._estimator.load_state(state["estimator"])
+        # Rebuildable cache over the web's oracle arrays; drop it so the
+        # restored module lazily rebinds to the current web.
+        self._existence_cache = None
+        self.pages_processed = int(state["pages_processed"])
+        self.changes_detected = int(state["changes_detected"])

@@ -155,3 +155,22 @@ class BayesianClassEstimator:
         if rate == 0:
             return float("inf")
         return 1.0 / rate
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def posterior_weights(self) -> List[float]:
+        """The posterior as a plain list, aligned with :attr:`classes`."""
+        return list(self._posterior)
+
+    def set_posterior_weights(self, weights: Sequence[float]) -> None:
+        """Install checkpointed posterior weights verbatim.
+
+        Unlike the constructor's ``prior`` argument this does not insist the
+        weights sum to exactly 1: a restored posterior is the product of
+        many normalisations and may be a few ulp off, and renormalising here
+        would break bit-exact resume.
+        """
+        if len(weights) != len(self._classes):
+            raise ValueError("weights must have one entry per class")
+        self._posterior = [float(weight) for weight in weights]

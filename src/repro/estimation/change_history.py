@@ -195,3 +195,39 @@ class ChangeHistory:
         if changes == 0:
             return None
         return self.observation_time / changes
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every slot, running sums included.
+
+        ``interval_sum`` is serialized verbatim rather than recomputed on
+        restore: it is a left-fold whose value depends on the exact sequence
+        of appends and trims, so recomputing could differ in the last ulp.
+        """
+        return {
+            "first_visit": self.first_visit,
+            "window_days": self.window_days,
+            "last_visit": self._last_visit,
+            "times": list(self._times),
+            "changed": list(self._changed),
+            "intervals": list(self._intervals),
+            "n_changes": self._n_changes,
+            "interval_sum": self._interval_sum,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ChangeHistory":
+        """Rebuild a history exactly as captured by :meth:`state_dict`."""
+        history = cls(
+            first_visit=float(state["first_visit"]),
+            window_days=state["window_days"],
+        )
+        history._last_visit = float(state["last_visit"])
+        history._times = deque(float(time) for time in state["times"])
+        history._changed = deque(bool(changed) for changed in state["changed"])
+        history._intervals = deque(float(interval) for interval in state["intervals"])
+        history._n_changes = int(state["n_changes"])
+        history._interval_sum = float(state["interval_sum"])
+        return history

@@ -75,6 +75,17 @@ class ChangeRateEstimator(ABC):
         """
         return [self.update(url, history) for url, history in zip(urls, histories)]
 
+    def state_dict(self) -> dict:
+        """JSON-serializable per-page estimation state (for checkpoints).
+
+        Stateless strategies (EP) return an empty dict; stateful ones (EB)
+        override this together with :meth:`load_state`.
+        """
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (no-op by default)."""
+
 
 @register_estimator("ep")
 class PoissonRateStrategy(ChangeRateEstimator):
@@ -165,6 +176,23 @@ class BayesianClassStrategy(ChangeRateEstimator):
     def estimator_for(self, url: str) -> BayesianClassEstimator:
         """The page's underlying Bayesian estimator (posterior inspection)."""
         return self._per_page.setdefault(url, BayesianClassEstimator())
+
+    def state_dict(self) -> dict:
+        """Per-page posterior weights, keyed by URL."""
+        return {
+            "posteriors": {
+                url: estimator.posterior_weights()
+                for url, estimator in self._per_page.items()
+            }
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Rebuild every page's posterior exactly as checkpointed."""
+        self._per_page = {}
+        for url, weights in state.get("posteriors", {}).items():
+            estimator = BayesianClassEstimator()
+            estimator.set_posterior_weights(weights)
+            self._per_page[url] = estimator
 
 
 def build_rate_estimator(name: str) -> ChangeRateEstimator:

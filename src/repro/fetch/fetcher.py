@@ -132,6 +132,13 @@ class SimulatedFetcher:
         """Number of fetches issued so far."""
         return self._fetch_count
 
+    @fetch_count.setter
+    def fetch_count(self, value: int) -> None:
+        """Restore the fetch counter (checkpoint/resume)."""
+        if value < 0:
+            raise ValueError("fetch_count cannot be negative")
+        self._fetch_count = int(value)
+
     @property
     def politeness(self) -> Optional[PolitenessPolicy]:
         """The politeness policy, if one is configured (read-only access

@@ -493,6 +493,26 @@ class PolitenessPolicy:
         self._dense_names = None
         self._dense_map = None
 
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-serializable per-site last-request state.
+
+        Only the authoritative ``_last_request`` map is captured; the dense
+        mirror is a lazily rebuilt cache whose contents are value-identical.
+        """
+        return {"last_request": dict(self._last_request)}
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Rebuild the last-request map exactly as checkpointed."""
+        self._last_request = {
+            str(site): float(time) for site, time in state["last_request"].items()
+        }
+        self._dense = None
+        self._dense_names = None
+        self._dense_map = None
+
     def max_requests_per_day(self) -> float:
         """Upper bound on requests per site per virtual day under this policy.
 

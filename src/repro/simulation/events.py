@@ -184,3 +184,19 @@ class StreamScheduler:
     def pop(self) -> Tuple[float, int, str]:
         """Remove and return the earliest ``(time, sequence, label)``."""
         return heapq.heappop(self._heap)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable scheduler state (entries + sequence counter)."""
+        return {
+            "entries": [list(entry) for entry in sorted(self._heap)],
+            "next_sequence": self._next_sequence,
+        }
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Rebuild the scheduler exactly as captured by :meth:`snapshot`."""
+        self._heap = [
+            (float(time), int(sequence), str(label))
+            for time, sequence, label in state["entries"]
+        ]
+        heapq.heapify(self._heap)
+        self._next_sequence = int(state["next_sequence"])

@@ -13,19 +13,41 @@ This package provides:
   disciplines the paper compares, behind a common :class:`Collection`
   interface (what users/queries see is ``current_records``);
 * :class:`InvertedIndex` — a small text index over the current collection,
-  standing in for the indexer the paper mentions alongside the repository.
+  standing in for the indexer the paper mentions alongside the repository;
+* :class:`StorageBackend` and its implementations (:class:`MemoryBackend`,
+  :class:`SqliteBackend`, :class:`ColumnarBackend`) — pluggable persistent
+  stores for crawl records, change events and checkpoint state, selected
+  through :data:`repro.api.registry.STORAGE_BACKENDS`;
+* :class:`CollectionJournal` and :class:`CrawlCheckpointer` — the
+  write-behind mirror and the resumable-state snapshotter that connect a
+  running crawl to a backend.
 """
 
-from repro.storage.records import PageRecord
+from repro.storage.records import PageRecord, record_from_dict, record_to_dict
 from repro.storage.repository import Repository
 from repro.storage.collection import Collection, InPlaceCollection, ShadowCollection
 from repro.storage.inverted_index import InvertedIndex
+from repro.storage.backends import (
+    ColumnarBackend,
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+)
+from repro.storage.checkpoint import CollectionJournal, CrawlCheckpointer
 
 __all__ = [
     "PageRecord",
+    "record_from_dict",
+    "record_to_dict",
     "Repository",
     "Collection",
     "InPlaceCollection",
     "ShadowCollection",
     "InvertedIndex",
+    "StorageBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "ColumnarBackend",
+    "CollectionJournal",
+    "CrawlCheckpointer",
 ]

@@ -1,0 +1,629 @@
+"""Pluggable collection storage backends.
+
+The paper's WebBase crawler maintains a *long-lived* collection; until this
+module existed, every crawl's records, change-history events and estimator
+state lived in Python dicts and died with the process. A
+:class:`StorageBackend` persists three kinds of data:
+
+* **crawl records** — the collection's :class:`~repro.storage.records.PageRecord`
+  rows (put/get/scan/delete, mirroring the repository);
+* **change-history events** — an append-only log of per-fetch observations
+  ``(url, time, changed, stored)``, the durable form of what feeds the
+  frequency estimators;
+* **named state blobs** — JSON documents holding checkpointed crawler state
+  (queue order, estimator running sums, politeness last-request map — see
+  :mod:`repro.storage.checkpoint`).
+
+Backends are selected by name through the ``STORAGE_BACKENDS`` registry
+(``repro.api.registry``), exactly like revisit policies and estimators:
+
+* ``memory`` — plain dicts/lists; the default, no persistence, bit-identical
+  to pre-backend behaviour;
+* ``sqlite`` — a WAL-mode SQLite database written with batched
+  ``executemany`` calls, sized so persistence piggybacks on the batched
+  engine's ``process_batch`` boundaries;
+* ``columnar`` — NumPy record columns with append-chunking, so hot
+  oracle/freshness-style consumers can read ``fetched_at``/``importance``
+  columns without materialising per-record Python objects.
+
+All scans return live records in **first-put order** (re-putting an existing
+URL keeps its position; deleting and re-putting moves it to the end), which
+every backend implements identically so callers can rely on one contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.registry import register_storage_backend
+from repro.storage.records import PageRecord
+
+#: One change-history event: (url, virtual time, change detected, page stored).
+ChangeEvent = Tuple[str, float, bool, bool]
+
+
+class StorageBackend(ABC):
+    """Abstract interface every collection store implements.
+
+    The interface is deliberately batch-first: ``put_records`` and
+    ``append_events`` take sequences because the batched crawl engine
+    produces whole tick windows of outcomes at once.
+    """
+
+    #: Whether this backend *can* keep data across processes (when given a
+    #: path); :attr:`persistent` reports whether this instance actually does.
+    can_persist: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Crawl records
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def put_records(self, records: Iterable[PageRecord]) -> None:
+        """Insert or replace the given records (keyed by URL)."""
+
+    @abstractmethod
+    def get_record(self, url: str) -> Optional[PageRecord]:
+        """The stored record for ``url``, or ``None``."""
+
+    @abstractmethod
+    def delete_record(self, url: str) -> bool:
+        """Remove ``url``; returns ``False`` when it was not stored."""
+
+    @abstractmethod
+    def scan_records(self) -> List[PageRecord]:
+        """All stored records, in first-put order."""
+
+    @abstractmethod
+    def record_count(self) -> int:
+        """Number of stored records."""
+
+    def replace_records(self, records: Iterable[PageRecord]) -> None:
+        """Atomically swap the whole record set (clear + put)."""
+        self.clear_records()
+        self.put_records(records)
+
+    @abstractmethod
+    def clear_records(self) -> None:
+        """Remove every stored record."""
+
+    # ------------------------------------------------------------------ #
+    # Change-history events
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def append_events(self, events: Sequence[ChangeEvent]) -> None:
+        """Append observations to the change-history log."""
+
+    @abstractmethod
+    def scan_events(self) -> List[ChangeEvent]:
+        """The full event log, in append order."""
+
+    @abstractmethod
+    def event_count(self) -> int:
+        """Number of logged events."""
+
+    @abstractmethod
+    def truncate_events(self, count: int) -> None:
+        """Keep only the first ``count`` events (drop the tail).
+
+        Used on resume to discard events a killed run appended after the
+        checkpoint being restored.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Named state blobs
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def save_state(self, key: str, payload: dict) -> None:
+        """Persist a JSON-serializable state document under ``key``."""
+
+    @abstractmethod
+    def load_state(self, key: str) -> Optional[dict]:
+        """The state document stored under ``key``, or ``None``."""
+
+    @abstractmethod
+    def delete_state(self, key: str) -> bool:
+        """Drop the state document under ``key``; False when absent."""
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Make pending writes durable (no-op for volatile backends)."""
+
+    def close(self) -> None:
+        """Release held resources; the backend is unusable afterwards."""
+
+    @property
+    def persistent(self) -> bool:
+        """True when the data survives this process."""
+        return False
+
+
+@register_storage_backend("memory")
+class MemoryBackend(StorageBackend):
+    """Dict/list-backed store — the pre-backend behaviour, made explicit.
+
+    Records are held by reference (not copied), so a record mutated in place
+    by the crawler is immediately current here; ``scan_records`` therefore
+    reflects live crawler state exactly, which keeps the ``memory`` backend
+    bit-identical to running without any backend at all.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        # ``path`` is accepted (and ignored) so every backend shares one
+        # construction signature through the registry.
+        self._records: Dict[str, PageRecord] = {}
+        self._events: List[ChangeEvent] = []
+        self._state: Dict[str, dict] = {}
+
+    def put_records(self, records: Iterable[PageRecord]) -> None:
+        for record in records:
+            self._records[record.url] = record
+
+    def get_record(self, url: str) -> Optional[PageRecord]:
+        return self._records.get(url)
+
+    def delete_record(self, url: str) -> bool:
+        return self._records.pop(url, None) is not None
+
+    def scan_records(self) -> List[PageRecord]:
+        return list(self._records.values())
+
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def clear_records(self) -> None:
+        self._records.clear()
+
+    def append_events(self, events: Sequence[ChangeEvent]) -> None:
+        self._events.extend(
+            (str(url), float(time), bool(changed), bool(stored))
+            for url, time, changed, stored in events
+        )
+
+    def scan_events(self) -> List[ChangeEvent]:
+        return list(self._events)
+
+    def event_count(self) -> int:
+        return len(self._events)
+
+    def truncate_events(self, count: int) -> None:
+        del self._events[max(0, count):]
+
+    def save_state(self, key: str, payload: dict) -> None:
+        # Round-trip through JSON so volatile and persistent backends hand
+        # back structurally identical documents (tuples become lists, keys
+        # become strings) and non-serializable payloads fail loudly here.
+        self._state[key] = json.loads(json.dumps(payload))
+
+    def load_state(self, key: str) -> Optional[dict]:
+        return self._state.get(key)
+
+    def delete_state(self, key: str) -> bool:
+        return self._state.pop(key, None) is not None
+
+
+@register_storage_backend("sqlite")
+class SqliteBackend(StorageBackend):
+    """SQLite-backed store (WAL mode when file-backed).
+
+    Writes are batched ``executemany`` statements with one commit per call,
+    sized to the batched engine's ``process_batch`` windows. ``path=None``
+    opens an in-memory database (useful for tests and benchmarks); a file
+    path makes the store durable and enables WAL journaling so a killed
+    crawler never corrupts the database.
+
+    The only durable backend in the box: ``can_persist`` is ``True``.
+
+    SQLite ``REAL`` columns are IEEE-754 doubles, so fetch timestamps and
+    importance scores round-trip bit-exactly — the resume parity guarantee
+    depends on this.
+    """
+
+    can_persist = True
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS records (
+        url TEXT PRIMARY KEY,
+        content TEXT NOT NULL,
+        checksum TEXT NOT NULL,
+        fetched_at REAL NOT NULL,
+        first_fetched_at REAL NOT NULL,
+        outlinks TEXT NOT NULL,
+        importance REAL NOT NULL,
+        visit_count INTEGER NOT NULL,
+        change_count INTEGER NOT NULL
+    );
+    CREATE TABLE IF NOT EXISTS events (
+        seq INTEGER PRIMARY KEY,
+        url TEXT NOT NULL,
+        time REAL NOT NULL,
+        changed INTEGER NOT NULL,
+        stored INTEGER NOT NULL
+    );
+    CREATE TABLE IF NOT EXISTS state (
+        key TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    );
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self._path = path
+        self._conn = sqlite3.connect(path if path is not None else ":memory:")
+        if path is not None:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(self._SCHEMA)
+        self._conn.commit()
+
+    @property
+    def path(self) -> Optional[str]:
+        """The database file path (``None`` for in-memory)."""
+        return self._path
+
+    def put_records(self, records: Iterable[PageRecord]) -> None:
+        rows = [
+            (
+                record.url,
+                record.content,
+                record.checksum,
+                record.fetched_at,
+                record.first_fetched_at,
+                json.dumps(list(record.outlinks)),
+                record.importance,
+                record.visit_count,
+                record.change_count,
+            )
+            for record in records
+        ]
+        if not rows:
+            return
+        # Upsert (rather than INSERT OR REPLACE) keeps the original rowid,
+        # preserving first-put scan order across re-fetch updates.
+        self._conn.executemany(
+            """
+            INSERT INTO records
+                (url, content, checksum, fetched_at, first_fetched_at,
+                 outlinks, importance, visit_count, change_count)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+            ON CONFLICT(url) DO UPDATE SET
+                content=excluded.content,
+                checksum=excluded.checksum,
+                fetched_at=excluded.fetched_at,
+                first_fetched_at=excluded.first_fetched_at,
+                outlinks=excluded.outlinks,
+                importance=excluded.importance,
+                visit_count=excluded.visit_count,
+                change_count=excluded.change_count
+            """,
+            rows,
+        )
+        self._conn.commit()
+
+    def get_record(self, url: str) -> Optional[PageRecord]:
+        row = self._conn.execute(
+            "SELECT url, content, checksum, fetched_at, first_fetched_at,"
+            " outlinks, importance, visit_count, change_count"
+            " FROM records WHERE url = ?",
+            (url,),
+        ).fetchone()
+        if row is None:
+            return None
+        return self._row_to_record(row)
+
+    def delete_record(self, url: str) -> bool:
+        cursor = self._conn.execute("DELETE FROM records WHERE url = ?", (url,))
+        self._conn.commit()
+        return cursor.rowcount > 0
+
+    def scan_records(self) -> List[PageRecord]:
+        rows = self._conn.execute(
+            "SELECT url, content, checksum, fetched_at, first_fetched_at,"
+            " outlinks, importance, visit_count, change_count"
+            " FROM records ORDER BY rowid"
+        ).fetchall()
+        return [self._row_to_record(row) for row in rows]
+
+    def record_count(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM records").fetchone()[0]
+
+    def clear_records(self) -> None:
+        self._conn.execute("DELETE FROM records")
+        self._conn.commit()
+
+    def append_events(self, events: Sequence[ChangeEvent]) -> None:
+        if not events:
+            return
+        self._conn.executemany(
+            "INSERT INTO events (url, time, changed, stored) VALUES (?, ?, ?, ?)",
+            [
+                (str(url), float(time), int(bool(changed)), int(bool(stored)))
+                for url, time, changed, stored in events
+            ],
+        )
+        self._conn.commit()
+
+    def scan_events(self) -> List[ChangeEvent]:
+        rows = self._conn.execute(
+            "SELECT url, time, changed, stored FROM events ORDER BY seq"
+        ).fetchall()
+        return [(url, time, bool(changed), bool(stored)) for url, time, changed, stored in rows]
+
+    def event_count(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM events").fetchone()[0]
+
+    def truncate_events(self, count: int) -> None:
+        self._conn.execute(
+            "DELETE FROM events WHERE seq NOT IN"
+            " (SELECT seq FROM events ORDER BY seq LIMIT ?)",
+            (max(0, count),),
+        )
+        self._conn.commit()
+
+    def save_state(self, key: str, payload: dict) -> None:
+        self._conn.execute(
+            "INSERT INTO state (key, value) VALUES (?, ?)"
+            " ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+            (key, json.dumps(payload)),
+        )
+        self._conn.commit()
+
+    def load_state(self, key: str) -> Optional[dict]:
+        row = self._conn.execute(
+            "SELECT value FROM state WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
+    def delete_state(self, key: str) -> bool:
+        cursor = self._conn.execute("DELETE FROM state WHERE key = ?", (key,))
+        self._conn.commit()
+        return cursor.rowcount > 0
+
+    def flush(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    @property
+    def persistent(self) -> bool:
+        return self._path is not None
+
+    @staticmethod
+    def _row_to_record(row: Tuple) -> PageRecord:
+        (url, content, checksum, fetched_at, first_fetched_at,
+         outlinks, importance, visit_count, change_count) = row
+        return PageRecord(
+            url=url,
+            content=content,
+            checksum=checksum,
+            fetched_at=fetched_at,
+            first_fetched_at=first_fetched_at,
+            outlinks=tuple(json.loads(outlinks)),
+            importance=importance,
+            visit_count=visit_count,
+            change_count=change_count,
+        )
+
+
+_INITIAL_CAPACITY = 1024
+
+
+@register_storage_backend("columnar")
+class ColumnarBackend(StorageBackend):
+    """NumPy-columned store with append-chunking.
+
+    Numeric per-record fields live in flat arrays that double in capacity as
+    rows append, with a boolean liveness mask for deletes; string fields ride
+    in parallel Python lists. The point is :meth:`numeric_columns`: hot
+    consumers (freshness sampling over fetch times, importance aggregation)
+    can read whole columns as arrays without building one ``PageRecord``
+    per row.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        # ``path`` is accepted for signature uniformity; this backend is
+        # in-process only.
+        self._row: Dict[str, int] = {}
+        self._n = 0
+        self._cap = _INITIAL_CAPACITY
+        self._fetched_at = np.zeros(self._cap)
+        self._first_fetched_at = np.zeros(self._cap)
+        self._importance = np.zeros(self._cap)
+        self._visit_count = np.zeros(self._cap, dtype=np.int64)
+        self._change_count = np.zeros(self._cap, dtype=np.int64)
+        self._live = np.zeros(self._cap, dtype=bool)
+        self._url: List[str] = []
+        self._content: List[str] = []
+        self._checksum: List[str] = []
+        self._outlinks: List[Tuple[str, ...]] = []
+        self._event_n = 0
+        self._event_cap = _INITIAL_CAPACITY
+        self._event_time = np.zeros(self._event_cap)
+        self._event_changed = np.zeros(self._event_cap, dtype=bool)
+        self._event_stored = np.zeros(self._event_cap, dtype=bool)
+        self._event_url: List[str] = []
+        self._state: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # Growth
+    # ------------------------------------------------------------------ #
+    def _grow_records(self, needed: int) -> None:
+        if needed <= self._cap:
+            return
+        new_cap = self._cap
+        while new_cap < needed:
+            new_cap *= 2
+        for name in ("_fetched_at", "_first_fetched_at", "_importance",
+                     "_visit_count", "_change_count", "_live"):
+            old = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+        self._cap = new_cap
+
+    def _grow_events(self, needed: int) -> None:
+        if needed <= self._event_cap:
+            return
+        new_cap = self._event_cap
+        while new_cap < needed:
+            new_cap *= 2
+        for name in ("_event_time", "_event_changed", "_event_stored"):
+            old = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=old.dtype)
+            grown[: self._event_n] = old[: self._event_n]
+            setattr(self, name, grown)
+        self._event_cap = new_cap
+
+    # ------------------------------------------------------------------ #
+    # Records
+    # ------------------------------------------------------------------ #
+    def put_records(self, records: Iterable[PageRecord]) -> None:
+        for record in records:
+            row = self._row.get(record.url)
+            if row is None:
+                row = self._n
+                self._grow_records(self._n + 1)
+                self._n += 1
+                self._row[record.url] = row
+                self._url.append(record.url)
+                self._content.append(record.content)
+                self._checksum.append(record.checksum)
+                self._outlinks.append(tuple(record.outlinks))
+            else:
+                self._content[row] = record.content
+                self._checksum[row] = record.checksum
+                self._outlinks[row] = tuple(record.outlinks)
+            self._fetched_at[row] = record.fetched_at
+            self._first_fetched_at[row] = record.first_fetched_at
+            self._importance[row] = record.importance
+            self._visit_count[row] = record.visit_count
+            self._change_count[row] = record.change_count
+            self._live[row] = True
+
+    def get_record(self, url: str) -> Optional[PageRecord]:
+        row = self._row.get(url)
+        if row is None:
+            return None
+        return self._record_at(row)
+
+    def delete_record(self, url: str) -> bool:
+        row = self._row.pop(url, None)
+        if row is None:
+            return False
+        self._live[row] = False
+        return True
+
+    def scan_records(self) -> List[PageRecord]:
+        return [
+            self._record_at(row)
+            for row in range(self._n)
+            if self._live[row]
+        ]
+
+    def record_count(self) -> int:
+        return len(self._row)
+
+    def clear_records(self) -> None:
+        self._row.clear()
+        self._live[: self._n] = False
+        self._n = 0
+        self._url.clear()
+        self._content.clear()
+        self._checksum.clear()
+        self._outlinks.clear()
+
+    def numeric_columns(self) -> Dict[str, np.ndarray]:
+        """Live numeric columns as arrays (copies), keyed by field name.
+
+        Rows align with :meth:`live_urls`; this is the zero-object path for
+        freshness/oracle-style aggregation over the stored collection.
+        """
+        mask = self._live[: self._n]
+        return {
+            "fetched_at": self._fetched_at[: self._n][mask].copy(),
+            "first_fetched_at": self._first_fetched_at[: self._n][mask].copy(),
+            "importance": self._importance[: self._n][mask].copy(),
+            "visit_count": self._visit_count[: self._n][mask].copy(),
+            "change_count": self._change_count[: self._n][mask].copy(),
+        }
+
+    def live_urls(self) -> List[str]:
+        """URLs of live rows, aligned with :meth:`numeric_columns`."""
+        mask = self._live[: self._n]
+        return [url for row, url in enumerate(self._url) if mask[row]]
+
+    def _record_at(self, row: int) -> PageRecord:
+        return PageRecord(
+            url=self._url[row],
+            content=self._content[row],
+            checksum=self._checksum[row],
+            fetched_at=float(self._fetched_at[row]),
+            first_fetched_at=float(self._first_fetched_at[row]),
+            outlinks=self._outlinks[row],
+            importance=float(self._importance[row]),
+            visit_count=int(self._visit_count[row]),
+            change_count=int(self._change_count[row]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Events
+    # ------------------------------------------------------------------ #
+    def append_events(self, events: Sequence[ChangeEvent]) -> None:
+        if not events:
+            return
+        start = self._event_n
+        self._grow_events(start + len(events))
+        for offset, (url, time, changed, stored) in enumerate(events):
+            row = start + offset
+            self._event_time[row] = time
+            self._event_changed[row] = bool(changed)
+            self._event_stored[row] = bool(stored)
+            self._event_url.append(str(url))
+        self._event_n = start + len(events)
+
+    def scan_events(self) -> List[ChangeEvent]:
+        return [
+            (
+                self._event_url[row],
+                float(self._event_time[row]),
+                bool(self._event_changed[row]),
+                bool(self._event_stored[row]),
+            )
+            for row in range(self._event_n)
+        ]
+
+    def event_count(self) -> int:
+        return self._event_n
+
+    def truncate_events(self, count: int) -> None:
+        count = max(0, min(count, self._event_n))
+        self._event_n = count
+        del self._event_url[count:]
+
+    def event_columns(self) -> Dict[str, np.ndarray]:
+        """The event log's numeric columns as arrays (copies)."""
+        return {
+            "time": self._event_time[: self._event_n].copy(),
+            "changed": self._event_changed[: self._event_n].copy(),
+            "stored": self._event_stored[: self._event_n].copy(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    def save_state(self, key: str, payload: dict) -> None:
+        self._state[key] = json.loads(json.dumps(payload))
+
+    def load_state(self, key: str) -> Optional[dict]:
+        return self._state.get(key)
+
+    def delete_state(self, key: str) -> bool:
+        return self._state.pop(key, None) is not None

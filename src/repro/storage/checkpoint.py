@@ -1,0 +1,187 @@
+"""Durable crawl provenance: the collection journal and the checkpointer.
+
+Two cooperating pieces sit between the crawler and a
+:class:`~repro.storage.backends.StorageBackend`:
+
+* :class:`CollectionJournal` mirrors the live collection into the backend as
+  the crawl proceeds — stored records are (re-)put and per-fetch change
+  events appended at ``process_batch`` boundaries, discards delete rows —
+  so the backend always holds a queryable copy of the collection without
+  the crawler ever reading through it (the hot path stays in memory).
+* :class:`CrawlCheckpointer` periodically persists a full crawler state
+  snapshot (queue order, estimator sums, politeness map — assembled by
+  ``IncrementalCrawler``) as a named state blob, from which a killed run
+  resumes bit-identically.
+
+On resume, the journal's event counter is restored from the checkpoint and
+the backend's event log truncated to it, dropping whatever the killed run
+appended after the snapshot; records are resynced wholesale from the
+checkpoint's collection image.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.storage.backends import ChangeEvent, StorageBackend
+from repro.storage.records import PageRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports storage)
+    from repro.core.crawl_module import BatchCrawlOutcome, CrawlOutcome
+    from repro.storage.collection import Collection
+
+#: Backend state key under which crawl checkpoints are stored.
+CHECKPOINT_STATE_KEY = "checkpoint"
+#: Backend state key under which a completed run's result is stored.
+RESULT_STATE_KEY = "result"
+#: Version stamp of the checkpoint document layout.
+CHECKPOINT_FORMAT = 1
+
+
+class CollectionJournal:
+    """Mirrors crawl outcomes into a storage backend.
+
+    The journal is write-behind: it piggybacks on the batched engine's
+    ``process_batch`` boundaries (and the reference engine's per-outcome
+    hook), so persistence adds one ``executemany``-sized write per tick
+    window rather than one per fetch.
+
+    Args:
+        backend: The destination store.
+    """
+
+    def __init__(self, backend: StorageBackend) -> None:
+        self.backend = backend
+        #: Number of events appended through this journal (checkpointed so a
+        #: resume can truncate the killed run's post-checkpoint tail).
+        self.events_logged = 0
+
+    # ------------------------------------------------------------------ #
+    # Crawl hooks
+    # ------------------------------------------------------------------ #
+    def on_batch(self, outcome: "BatchCrawlOutcome", collection: "Collection") -> None:
+        """Mirror one resolved batch: re-put stored records, append events.
+
+        Records are re-read from the live collection (not rebuilt from the
+        outcome) because the batched engine refreshes unchanged re-fetches
+        *in place*; the collection is the single source of truth.
+        """
+        completed = outcome.completed_at.tolist()
+        records: List[PageRecord] = []
+        seen = set()
+        events: List[ChangeEvent] = []
+        for url, stored, changed, completed_at in zip(
+            outcome.urls, outcome.stored, outcome.changed, completed
+        ):
+            events.append((url, completed_at, bool(changed), bool(stored)))
+            if stored and url not in seen:
+                record = collection.get_working(url)
+                if record is not None:
+                    records.append(record)
+                    seen.add(url)
+        self.backend.put_records(records)
+        self.backend.append_events(events)
+        self.events_logged += len(events)
+
+    def on_outcome(self, outcome: "CrawlOutcome", collection: "Collection") -> None:
+        """Scalar variant of :meth:`on_batch` (reference engine path)."""
+        if outcome.stored:
+            record = collection.get_working(outcome.url)
+            if record is not None:
+                self.backend.put_records([record])
+        self.backend.append_events(
+            [(outcome.url, outcome.completed_at, outcome.changed, outcome.stored)]
+        )
+        self.events_logged += 1
+
+    def on_discard(self, url: str) -> None:
+        """A page left the working collection (refinement or failure)."""
+        self.backend.delete_record(url)
+
+    def refresh_records(self, records: List[PageRecord]) -> None:
+        """Re-put many records (after a ranking scan rewrites importance)."""
+        self.backend.put_records(records)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """The journal's own state (folded into the crawl checkpoint)."""
+        return {"events_logged": self.events_logged}
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Resume the journal at a checkpoint: truncate the event tail.
+
+        Events the killed run appended after the checkpoint describe fetches
+        the resumed run will re-execute; keeping them would double-count.
+        """
+        self.events_logged = int(state["events_logged"])
+        self.backend.truncate_events(self.events_logged)
+
+
+class CrawlCheckpointer:
+    """Periodically persists full crawler snapshots to a backend.
+
+    Args:
+        backend: The destination store.
+        every_days: Minimum virtual-time spacing between checkpoints; the
+            crawler offers a save opportunity at each event boundary and the
+            checkpointer accepts when this much time has passed.
+        spec_hash: When given, stamped into every checkpoint so a resume can
+            refuse state written by a different experiment spec.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        every_days: float,
+        spec_hash: Optional[str] = None,
+    ) -> None:
+        if every_days <= 0:
+            raise ValueError("every_days must be positive")
+        self.backend = backend
+        self.every_days = every_days
+        self.spec_hash = spec_hash
+        self.saves = 0
+        self._last_saved: Optional[float] = None
+        #: Optional test/observer hook called with each saved state dict.
+        self.on_save: Optional[Callable[[dict], None]] = None
+
+    def start(self, at: float) -> None:
+        """Anchor the checkpoint clock at the run (or resume) start."""
+        self._last_saved = at
+
+    def due(self, at: float) -> bool:
+        """Whether a checkpoint should be taken at virtual time ``at``."""
+        return self._last_saved is None or at - self._last_saved >= self.every_days
+
+    def save(self, state: dict, at: float) -> None:
+        """Persist ``state`` as the current checkpoint (overwrites prior).
+
+        The save is read-only with respect to the crawler: the state dict
+        was assembled from snapshots, and flushing the backend has no effect
+        on in-memory crawl structures — which is why checkpointing cannot
+        perturb the run.
+        """
+        if self.spec_hash is not None:
+            state["spec_hash"] = self.spec_hash
+        self.backend.save_state(CHECKPOINT_STATE_KEY, state)
+        self.backend.flush()
+        self._last_saved = at
+        self.saves += 1
+        if self.on_save is not None:
+            self.on_save(state)
+
+    def load(self) -> Optional[dict]:
+        """The most recent checkpoint, or ``None`` when none was saved."""
+        state = self.backend.load_state(CHECKPOINT_STATE_KEY)
+        if state is None:
+            return None
+        if self.spec_hash is not None:
+            stored_hash = state.get("spec_hash")
+            if stored_hash is not None and stored_hash != self.spec_hash:
+                raise ValueError(
+                    "checkpoint was written by a different spec "
+                    f"(stored {stored_hash[:12]}..., expected {self.spec_hash[:12]}...)"
+                )
+        return state

@@ -79,6 +79,35 @@ class InvertedIndex:
             index.add_document(doc_id, text)
         return index
 
+    def rebuild_from(self, collection) -> int:
+        """Drop the index and re-index every record of ``collection``.
+
+        Accepts anything that yields :class:`~repro.storage.records.PageRecord`
+        objects through ``current_records()`` (a live
+        :class:`~repro.storage.collection.Collection`) or ``scan_records()``
+        (a :class:`~repro.storage.backends.StorageBackend`), so an index can
+        be rebuilt directly from a persisted store after a crawl — the
+        shadowing cycle's end-of-cycle rebuild, pointed at durable state.
+
+        Returns:
+            The number of documents indexed.
+        """
+        if hasattr(collection, "current_records"):
+            records = collection.current_records()
+        elif hasattr(collection, "scan_records"):
+            records = collection.scan_records()
+        else:
+            raise TypeError(
+                "rebuild_from needs a Collection (current_records) or a "
+                f"StorageBackend (scan_records); got {type(collection).__name__}"
+            )
+        self.clear()
+        count = 0
+        for record in records:
+            self.add_document(record.url, record.content)
+            count += 1
+        return count
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

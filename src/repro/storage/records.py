@@ -88,3 +88,38 @@ class PageRecord:
     def observation_span(self) -> float:
         """Days between the first and the most recent fetch."""
         return self.fetched_at - self.first_fetched_at
+
+
+def record_to_dict(record: PageRecord) -> dict:
+    """A JSON-serializable dict holding every field of ``record``.
+
+    Floats survive a JSON round trip bit-exactly (``json`` serialises with
+    ``repr``, the shortest round-tripping form), which the checkpoint/resume
+    parity guarantee relies on.
+    """
+    return {
+        "url": record.url,
+        "content": record.content,
+        "checksum": record.checksum,
+        "fetched_at": record.fetched_at,
+        "first_fetched_at": record.first_fetched_at,
+        "outlinks": list(record.outlinks),
+        "importance": record.importance,
+        "visit_count": record.visit_count,
+        "change_count": record.change_count,
+    }
+
+
+def record_from_dict(payload: dict) -> PageRecord:
+    """Rebuild a :class:`PageRecord` from :func:`record_to_dict` output."""
+    return PageRecord(
+        url=payload["url"],
+        content=payload["content"],
+        checksum=payload["checksum"],
+        fetched_at=payload["fetched_at"],
+        first_fetched_at=payload["first_fetched_at"],
+        outlinks=tuple(payload["outlinks"]),
+        importance=payload["importance"],
+        visit_count=payload["visit_count"],
+        change_count=payload["change_count"],
+    )

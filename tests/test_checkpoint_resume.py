@@ -1,0 +1,306 @@
+"""Kill-and-resume parity: checkpointed crawls restore bit-identically.
+
+The contract under test is strict: a run that journals into a backend (or
+checkpoints and resumes from any checkpoint) must produce *bit-identical*
+results — freshness/quality series, counters, per-record fetch timestamps
+and estimator state — to the same run executed uninterrupted with no
+backend at all.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.api.registry import STORAGE_BACKENDS
+from repro.api.runner import run
+from repro.api.specs import CrawlerSpec, ExperimentSpec, WebSpec
+from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
+from repro.storage.backends import MemoryBackend, SqliteBackend
+from repro.storage.checkpoint import (
+    CHECKPOINT_STATE_KEY,
+    RESULT_STATE_KEY,
+    CollectionJournal,
+    CrawlCheckpointer,
+)
+
+DURATION = 30.0
+
+
+def crawler_config(**overrides) -> IncrementalCrawlerConfig:
+    base = dict(
+        collection_capacity=60,
+        crawl_budget_per_day=200.0,
+        ranking_interval_days=5.0,
+        measurement_interval_days=1.0,
+        track_quality=True,
+    )
+    base.update(overrides)
+    return IncrementalCrawlerConfig(**base)
+
+
+def build_crawler(tiny_web, **overrides) -> IncrementalCrawler:
+    return IncrementalCrawler(tiny_web, crawler_config(**overrides))
+
+
+def result_fingerprint(crawler, result):
+    """Everything the parity contract pins, bit-exact."""
+    return {
+        "times": list(result.freshness.times),
+        "freshness": list(result.freshness.freshness),
+        "quality": list(result.quality),
+        "quality_times": list(result.quality_times),
+        "counters": (
+            result.pages_crawled,
+            result.pages_failed,
+            result.changes_detected,
+            result.pages_replaced,
+        ),
+        "records": [
+            (r.url, r.fetched_at, r.first_fetched_at, r.visit_count,
+             r.change_count, r.checksum, r.importance)
+            for r in crawler.collection.working_records()
+        ],
+        "estimates": list(crawler.update_module.estimated_rates().items()),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Journal parity
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("estimator", ["ep", "eb"])
+@pytest.mark.parametrize("use_politeness", [False, True])
+def test_journaled_run_is_bit_identical(tiny_web, estimator, use_politeness):
+    plain = build_crawler(tiny_web, estimator=estimator, use_politeness=use_politeness)
+    expected = result_fingerprint(plain, plain.run(DURATION))
+
+    backend = MemoryBackend()
+    journaled = build_crawler(
+        tiny_web, estimator=estimator, use_politeness=use_politeness
+    )
+    outcome = journaled.run(DURATION, journal=CollectionJournal(backend))
+    assert result_fingerprint(journaled, outcome) == expected
+
+    # The backend mirrors the final working collection exactly.
+    live = {r.url: r for r in journaled.collection.working_records()}
+    stored = {r.url: r for r in backend.scan_records()}
+    assert set(stored) == set(live)
+    for url, record in live.items():
+        assert stored[url].fetched_at == record.fetched_at
+        assert stored[url].visit_count == record.visit_count
+        assert stored[url].change_count == record.change_count
+        assert stored[url].importance == record.importance
+    assert backend.event_count() > 0
+
+
+def test_journal_works_on_reference_engine(tiny_web):
+    backend = MemoryBackend()
+    crawler = build_crawler(tiny_web, engine="reference", track_quality=False)
+    crawler.run(10.0, journal=CollectionJournal(backend))
+    assert backend.record_count() == len(crawler.collection.working_records())
+    assert backend.event_count() > 0
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint/resume parity
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("use_politeness", [False, True])
+def test_resume_from_every_checkpoint_is_bit_identical(tiny_web, use_politeness):
+    plain = build_crawler(tiny_web, use_politeness=use_politeness)
+    expected = result_fingerprint(plain, plain.run(DURATION))
+
+    backend = MemoryBackend()
+    checkpointer = CrawlCheckpointer(backend, every_days=7.0)
+    states = []
+    # Deep-copy through JSON: exactly what a persistent backend stores.
+    checkpointer.on_save = lambda state: states.append(json.loads(json.dumps(state)))
+    full = build_crawler(tiny_web, use_politeness=use_politeness)
+    full_outcome = full.run(
+        DURATION, journal=CollectionJournal(backend), checkpointer=checkpointer
+    )
+    assert checkpointer.saves >= 3
+    assert result_fingerprint(full, full_outcome) == expected
+
+    for state in states:
+        resume_backend = MemoryBackend()
+        resumed = build_crawler(tiny_web, use_politeness=use_politeness)
+        outcome = resumed.run(
+            DURATION,
+            journal=CollectionJournal(resume_backend),
+            resume_state=copy.deepcopy(state),
+        )
+        assert result_fingerprint(resumed, outcome) == expected
+
+
+def test_resume_rejects_mismatched_run_shape(tiny_web):
+    backend = MemoryBackend()
+    checkpointer = CrawlCheckpointer(backend, every_days=7.0)
+    crawler = build_crawler(tiny_web)
+    crawler.run(DURATION, checkpointer=checkpointer)
+    state = backend.load_state(CHECKPOINT_STATE_KEY)
+    assert state is not None
+
+    with pytest.raises(ValueError, match="duration_days"):
+        build_crawler(tiny_web).run(DURATION + 5.0, resume_state=copy.deepcopy(state))
+    with pytest.raises(ValueError, match="start_time"):
+        build_crawler(tiny_web).run(
+            DURATION, start_time=1.0, resume_state=copy.deepcopy(state)
+        )
+    bad_format = copy.deepcopy(state)
+    bad_format["format"] = 999
+    with pytest.raises(ValueError, match="format"):
+        build_crawler(tiny_web).run(DURATION, resume_state=bad_format)
+    with pytest.raises(ValueError, match="politeness"):
+        build_crawler(tiny_web, use_politeness=True).run(
+            DURATION, resume_state=copy.deepcopy(state)
+        )
+
+
+def test_checkpoint_requires_batched_engine(tiny_web):
+    crawler = build_crawler(tiny_web, engine="reference")
+    checkpointer = CrawlCheckpointer(MemoryBackend(), every_days=5.0)
+    with pytest.raises(ValueError, match="batched"):
+        crawler.run(DURATION, checkpointer=checkpointer)
+
+
+def test_checkpointer_validates_spacing():
+    with pytest.raises(ValueError, match="positive"):
+        CrawlCheckpointer(MemoryBackend(), every_days=0.0)
+
+
+def test_checkpointer_spec_hash_guard():
+    backend = MemoryBackend()
+    writer = CrawlCheckpointer(backend, every_days=1.0, spec_hash="a" * 64)
+    writer.save({"format": 1}, at=0.0)
+    reader = CrawlCheckpointer(backend, every_days=1.0, spec_hash="b" * 64)
+    with pytest.raises(ValueError, match="different spec"):
+        reader.load()
+    same = CrawlCheckpointer(backend, every_days=1.0, spec_hash="a" * 64)
+    assert same.load() is not None
+
+
+def test_journal_truncates_event_tail_on_resume():
+    backend = MemoryBackend()
+    journal = CollectionJournal(backend)
+    backend.append_events([("u", float(i), False, True) for i in range(5)])
+    journal.events_logged = 5
+    snapshot = journal.snapshot()
+    # The "killed run" appends two more events after the checkpoint.
+    backend.append_events([("u", 5.0, False, True), ("u", 6.0, False, True)])
+    assert backend.event_count() == 7
+    restored = CollectionJournal(backend)
+    restored.restore_snapshot(snapshot)
+    assert backend.event_count() == 5
+    assert restored.events_logged == 5
+
+
+# --------------------------------------------------------------------- #
+# Runner-level persistence
+# --------------------------------------------------------------------- #
+WEB_SPEC = WebSpec(
+    site_scale=0.04, pages_per_site=15, horizon_days=60.0,
+    new_page_fraction=0.2, seed=7,
+)
+CRAWLER_SPEC = CrawlerSpec(
+    collection_capacity=60, crawl_budget_per_day=200.0,
+    duration_days=20.0, measurement_interval_days=1.0,
+)
+
+
+def test_runner_memory_backend_matches_plain_run():
+    plain = run(ExperimentSpec(name="p", web=WEB_SPEC, crawler=CRAWLER_SPEC))
+    stored = run(ExperimentSpec(
+        name="p", web=WEB_SPEC,
+        crawler=CRAWLER_SPEC.replace(storage="memory", checkpoint_every=5.0),
+    ))
+    assert stored.series == plain.series
+    assert stored.summary == plain.summary
+
+
+def test_runner_sqlite_store_and_result_short_circuit(tmp_path):
+    path = str(tmp_path / "crawl.sqlite")
+    spec = ExperimentSpec(
+        name="sq", web=WEB_SPEC,
+        crawler=CRAWLER_SPEC.replace(storage="sqlite", checkpoint_every=5.0),
+    )
+    first = run(spec, store=path)
+
+    probe = SqliteBackend(path)
+    try:
+        assert probe.load_state(RESULT_STATE_KEY) is not None
+        assert probe.load_state(CHECKPOINT_STATE_KEY) is not None
+        assert probe.record_count() == first.summary["collection_size"]
+        assert probe.event_count() > 0
+    finally:
+        probe.close()
+
+    resumed = run(spec, store=path, resume=True)  # completed → short-circuit
+    assert resumed.series == first.series
+    assert resumed.summary == first.summary
+    assert resumed.spec_hash == first.spec_hash
+
+
+def test_runner_resume_continues_interrupted_run(tmp_path):
+    """Simulate a kill: run only long enough to checkpoint, then resume."""
+    path = str(tmp_path / "killed.sqlite")
+    spec = ExperimentSpec(
+        name="kill", web=WEB_SPEC,
+        crawler=CRAWLER_SPEC.replace(storage="sqlite", checkpoint_every=5.0),
+    )
+    uninterrupted = run(spec)
+
+    # "Kill" the run by checkpointing manually mid-run, as the engine would
+    # have at the moment of death: persist a mid-run state, not a result.
+    from repro.api.runner import build_web
+
+    web = build_web(WEB_SPEC)
+    backend = SqliteBackend(path)
+    checkpointer = CrawlCheckpointer(
+        backend, every_days=5.0, spec_hash=spec.spec_hash()
+    )
+    captured = {}
+
+    def stop_after_second_save(state):
+        if checkpointer.saves >= 2:
+            captured["state"] = state
+            raise KeyboardInterrupt  # aborts the run mid-flight, like SIGKILL
+
+    checkpointer.on_save = stop_after_second_save
+    partial = IncrementalCrawler(web, crawler_config(
+        crawl_budget_per_day=CRAWLER_SPEC.crawl_budget_per_day,
+        collection_capacity=CRAWLER_SPEC.collection_capacity,
+    ))
+    with pytest.raises(KeyboardInterrupt):
+        partial.run(
+            CRAWLER_SPEC.duration_days,
+            journal=CollectionJournal(backend),
+            checkpointer=checkpointer,
+        )
+    backend.close()
+
+    resumed = run(spec, store=path, resume=True)
+    assert resumed.series == uninterrupted.series
+    assert resumed.summary == uninterrupted.summary
+
+
+def test_runner_resume_without_checkpoint_errors(tmp_path):
+    spec = ExperimentSpec(
+        name="no-chk", web=WEB_SPEC,
+        crawler=CRAWLER_SPEC.replace(storage="sqlite", checkpoint_every=5.0),
+    )
+    with pytest.raises(ValueError, match="no checkpoint"):
+        run(spec, store=str(tmp_path / "empty.sqlite"), resume=True)
+
+
+def test_runner_store_requires_storage_in_spec():
+    spec = ExperimentSpec(name="x", web=WEB_SPEC, crawler=CRAWLER_SPEC)
+    with pytest.raises(ValueError, match="storage"):
+        run(spec, store="/tmp/nope.sqlite")
+    with pytest.raises(ValueError, match="storage"):
+        run(spec, resume=True)
+
+
+def test_storage_backends_registry_reachable_from_api():
+    assert {"memory", "sqlite", "columnar"} <= set(STORAGE_BACKENDS.names())

@@ -1,0 +1,334 @@
+"""Contract tests for the pluggable storage backends.
+
+Every backend must honour one contract — put/get/scan with first-put scan
+order, idempotent deletes, append-only event logs with resume truncation,
+and JSON state blobs that round-trip floats bit-exactly — so the tests are
+parametrized over all registered backends.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.api.registry import STORAGE_BACKENDS
+from repro.api.specs import CrawlerSpec, ExperimentSpec, WebSpec
+from repro.storage import (
+    ColumnarBackend,
+    InPlaceCollection,
+    InvertedIndex,
+    MemoryBackend,
+    PageRecord,
+    SqliteBackend,
+    record_from_dict,
+    record_to_dict,
+)
+
+BACKEND_NAMES = ("memory", "sqlite", "columnar")
+
+
+def make_record(url: str, fetched_at: float = 1.5, **overrides) -> PageRecord:
+    fields = dict(
+        url=url,
+        content=f"body of {url}",
+        checksum=f"ck-{url}",
+        fetched_at=fetched_at,
+        first_fetched_at=min(fetched_at, overrides.get("first_fetched_at", fetched_at)),
+        outlinks=(f"{url}/a", f"{url}/b"),
+        importance=0.125,
+        visit_count=3,
+        change_count=1,
+    )
+    fields.update(overrides)
+    return PageRecord(**fields)
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend(request):
+    instance = STORAGE_BACKENDS.create(request.param, path=None)
+    yield instance
+    instance.close()
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+def test_backends_are_registered():
+    names = STORAGE_BACKENDS.names()
+    for name in BACKEND_NAMES:
+        assert name in names
+
+
+def test_registry_creates_expected_classes():
+    assert isinstance(STORAGE_BACKENDS.create("memory"), MemoryBackend)
+    assert isinstance(STORAGE_BACKENDS.create("sqlite"), SqliteBackend)
+    assert isinstance(STORAGE_BACKENDS.create("columnar"), ColumnarBackend)
+
+
+def test_durability_flags():
+    assert not MemoryBackend.can_persist
+    assert not ColumnarBackend.can_persist
+    assert SqliteBackend.can_persist
+    assert not MemoryBackend().persistent
+    assert not SqliteBackend().persistent  # in-memory form
+
+
+# --------------------------------------------------------------------- #
+# Record contract
+# --------------------------------------------------------------------- #
+def test_put_get_roundtrip_exact(backend):
+    record = make_record("u/1", fetched_at=1.0 / 3.0, importance=0.1 + 0.2)
+    backend.put_records([record])
+    loaded = backend.get_record("u/1")
+    assert loaded is not None
+    assert record_to_dict(loaded) == record_to_dict(record)
+    assert loaded.fetched_at == record.fetched_at  # bit-exact, not approx
+    assert loaded.importance == record.importance
+    assert isinstance(loaded.outlinks, tuple)
+
+
+def test_get_missing_returns_none(backend):
+    assert backend.get_record("nope") is None
+
+
+def test_scan_order_is_first_put(backend):
+    backend.put_records([make_record("b"), make_record("a"), make_record("c")])
+    assert [r.url for r in backend.scan_records()] == ["b", "a", "c"]
+
+
+def test_upsert_keeps_scan_position(backend):
+    backend.put_records([make_record("b"), make_record("a"), make_record("c")])
+    backend.put_records([make_record("a", fetched_at=9.0, visit_count=7)])
+    assert [r.url for r in backend.scan_records()] == ["b", "a", "c"]
+    assert backend.get_record("a").visit_count == 7
+    assert backend.record_count() == 3
+
+
+def test_delete_then_reput_moves_to_end(backend):
+    backend.put_records([make_record("b"), make_record("a"), make_record("c")])
+    assert backend.delete_record("b") is True
+    assert backend.delete_record("b") is False  # idempotent
+    assert backend.record_count() == 2
+    backend.put_records([make_record("b")])
+    assert [r.url for r in backend.scan_records()] == ["a", "c", "b"]
+
+
+def test_clear_and_replace_records(backend):
+    backend.put_records([make_record("a"), make_record("b")])
+    backend.clear_records()
+    assert backend.record_count() == 0
+    assert backend.scan_records() == []
+    backend.replace_records([make_record("z"), make_record("y")])
+    assert [r.url for r in backend.scan_records()] == ["z", "y"]
+
+
+# --------------------------------------------------------------------- #
+# Event contract
+# --------------------------------------------------------------------- #
+def test_events_append_scan_truncate(backend):
+    events = [
+        ("u/1", 0.5, True, True),
+        ("u/2", 0.75, False, True),
+        ("u/3", 1.0, False, False),
+    ]
+    backend.append_events(events)
+    backend.append_events([])  # no-op
+    assert backend.event_count() == 3
+    assert backend.scan_events() == events
+    backend.truncate_events(2)
+    assert backend.scan_events() == events[:2]
+    backend.truncate_events(0)
+    assert backend.event_count() == 0
+
+
+def test_event_times_roundtrip_exact(backend):
+    time = 1.0 / 3.0 + 1e-9
+    backend.append_events([("u", time, True, True)])
+    assert backend.scan_events()[0][1] == time
+
+
+# --------------------------------------------------------------------- #
+# State contract
+# --------------------------------------------------------------------- #
+def test_state_save_load_delete(backend):
+    assert backend.load_state("missing") is None
+    payload = {
+        "floats": [1.0 / 3.0, 0.1 + 0.2, math.inf],
+        "nested": {"b": 2, "a": 1},  # order must survive
+        "count": 42,
+    }
+    backend.save_state("chk", payload)
+    loaded = backend.load_state("chk")
+    assert loaded == payload
+    assert list(loaded["nested"]) == ["b", "a"]
+    assert loaded["floats"][0] == payload["floats"][0]
+    assert math.isinf(loaded["floats"][2])
+    backend.save_state("chk", {"count": 1})
+    assert backend.load_state("chk") == {"count": 1}
+    assert backend.delete_state("chk") is True
+    assert backend.delete_state("chk") is False
+    assert backend.load_state("chk") is None
+
+
+def test_state_documents_are_detached_copies(backend):
+    payload = {"values": [1, 2]}
+    backend.save_state("k", payload)
+    payload["values"].append(3)
+    assert backend.load_state("k") == {"values": [1, 2]}
+
+
+# --------------------------------------------------------------------- #
+# SQLite specifics
+# --------------------------------------------------------------------- #
+def test_sqlite_file_persistence(tmp_path):
+    path = str(tmp_path / "store.sqlite")
+    first = SqliteBackend(path)
+    assert first.persistent
+    first.put_records([make_record("b"), make_record("a")])
+    first.append_events([("b", 0.5, True, True)])
+    first.save_state("chk", {"n": 7})
+    first.close()
+
+    reopened = SqliteBackend(path)
+    try:
+        assert [r.url for r in reopened.scan_records()] == ["b", "a"]
+        assert reopened.scan_events() == [("b", 0.5, True, True)]
+        assert reopened.load_state("chk") == {"n": 7}
+    finally:
+        reopened.close()
+
+
+# --------------------------------------------------------------------- #
+# Columnar specifics
+# --------------------------------------------------------------------- #
+def test_columnar_numeric_columns_and_live_urls():
+    backend = ColumnarBackend()
+    backend.put_records(
+        [make_record("a", fetched_at=1.0), make_record("b", fetched_at=2.0),
+         make_record("c", fetched_at=3.0)]
+    )
+    backend.delete_record("b")
+    assert backend.live_urls() == ["a", "c"]
+    columns = backend.numeric_columns()
+    assert columns["fetched_at"].tolist() == [1.0, 3.0]
+    assert columns["visit_count"].tolist() == [3, 3]
+    backend.append_events([("a", 0.25, True, True), ("c", 0.5, False, True)])
+    event_columns = backend.event_columns()
+    assert event_columns["time"].tolist() == [0.25, 0.5]
+    assert event_columns["changed"].tolist() == [True, False]
+
+
+def test_columnar_growth_past_initial_capacity():
+    backend = ColumnarBackend()
+    n = 3000  # beyond the initial chunk, forcing several doublings
+    backend.put_records([make_record(f"u/{i}", fetched_at=float(i)) for i in range(n)])
+    assert backend.record_count() == n
+    assert backend.get_record("u/2999").fetched_at == 2999.0
+    assert [r.url for r in backend.scan_records()][:3] == ["u/0", "u/1", "u/2"]
+
+
+# --------------------------------------------------------------------- #
+# Record serialization
+# --------------------------------------------------------------------- #
+def test_record_dict_roundtrip_through_json():
+    record = make_record("u/x", fetched_at=1.0 / 7.0)
+    payload = json.loads(json.dumps(record_to_dict(record)))
+    rebuilt = record_from_dict(payload)
+    assert record_to_dict(rebuilt) == record_to_dict(record)
+    assert rebuilt.fetched_at == record.fetched_at
+    assert rebuilt.outlinks == record.outlinks
+
+
+# --------------------------------------------------------------------- #
+# InvertedIndex.rebuild_from (satellite)
+# --------------------------------------------------------------------- #
+def test_rebuild_from_collection_roundtrip():
+    collection = InPlaceCollection(capacity=10)
+    collection.store(make_record("u/cats", content="cats purr softly"))
+    collection.store(make_record("u/dogs", content="dogs bark loudly"))
+
+    incremental = InvertedIndex()
+    for record in collection.current_records():
+        incremental.add_document(record.url, record.content)
+
+    rebuilt = InvertedIndex()
+    count = rebuilt.rebuild_from(collection)
+    assert count == 2
+    assert rebuilt.n_documents == incremental.n_documents
+    assert rebuilt.n_terms == incremental.n_terms
+    assert rebuilt.search("cats") == incremental.search("cats")
+
+    # Rebuilding replaces previous contents entirely.
+    rebuilt.add_document("stale", "stale entry")
+    assert rebuilt.rebuild_from(collection) == 2
+    assert "stale" not in rebuilt
+
+
+def test_rebuild_from_storage_backend():
+    backend = MemoryBackend()
+    backend.put_records(
+        [make_record("u/1", content="alpha beta"), make_record("u/2", content="beta gamma")]
+    )
+    index = InvertedIndex()
+    assert index.rebuild_from(backend) == 2
+    assert index.document_frequency("beta") == 2
+    assert [doc for doc, _score in index.search("alpha")] == ["u/1"]
+
+
+def test_rebuild_from_rejects_unknown_source():
+    with pytest.raises(TypeError, match="Collection .* or a .*StorageBackend"):
+        InvertedIndex().rebuild_from(object())
+
+
+# --------------------------------------------------------------------- #
+# Spec round-tripping of the new fields (satellite)
+# --------------------------------------------------------------------- #
+def test_crawler_spec_storage_fields_roundtrip():
+    spec = CrawlerSpec(storage="sqlite", checkpoint_every=5.0)
+    assert CrawlerSpec.from_dict(spec.to_dict()) == spec
+    assert CrawlerSpec.from_json(spec.to_json()) == spec
+    data = spec.to_dict()
+    assert data["storage"] == "sqlite"
+    assert data["checkpoint_every"] == 5.0
+
+
+def test_crawler_spec_omits_unset_storage_fields():
+    data = CrawlerSpec().to_dict()
+    assert "storage" not in data
+    assert "checkpoint_every" not in data
+    assert CrawlerSpec.from_dict(data) == CrawlerSpec()
+
+
+def test_spec_hashes_stable_without_storage_fields():
+    # Pinned pre-storage-backend hashes: specs that never set the new
+    # fields must hash exactly as they did before the fields existed.
+    assert CrawlerSpec().spec_hash() == (
+        "d3ee2e4e316a1b159f6985e51eb2a11dcc5e5e6ed0d8e9ef496611170f13a098"
+    )
+    assert ExperimentSpec(
+        name="x", web=WebSpec(), crawler=CrawlerSpec()
+    ).spec_hash() == (
+        "28c49064edce0f13a147f8928c96a838d180eb1198cf8e09763a5caa61955e61"
+    )
+
+
+def test_spec_hash_changes_when_storage_set():
+    assert CrawlerSpec(storage="memory").spec_hash() != CrawlerSpec().spec_hash()
+
+
+@pytest.mark.parametrize(
+    "kwargs, message",
+    [
+        (dict(storage="nope"), "unknown storage backend"),
+        (dict(storage="sqlite", kind="periodic"), "incremental"),
+        (dict(checkpoint_every=1.0), "requires a storage backend"),
+        (dict(storage="sqlite", checkpoint_every=0.0), "positive"),
+        (dict(storage="sqlite", checkpoint_every=-2.0), "positive"),
+        (dict(storage="sqlite", checkpoint_every=1.0, engine="reference"), "batched"),
+    ],
+)
+def test_crawler_spec_storage_validation(kwargs, message):
+    with pytest.raises(ValueError, match=message):
+        CrawlerSpec(**kwargs)
