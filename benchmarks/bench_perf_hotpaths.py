@@ -26,6 +26,16 @@ Kernels covered:
   columnar backend against SQLite (with the plain in-memory backend's
   time recorded alongside) on a crawl-shaped record/event workload, with
   exact invariant agreement required across all three backends.
+* ``ranking_power_iteration`` — one PageRank solve: the sparse CSR kernel
+  (including its CSR build) against the pinned dense reference on the
+  same heavy-tailed graph; in full mode the sparse kernel additionally
+  solves a million-page graph, with its build/solve times recorded in
+  ``params``.
+* ``ranking_refinement_scan`` — the RankingModule steady state: a scan
+  that applies a small edge churn to a live ``LinkGraph`` and
+  warm-starts power iteration from the previous fixed point, against a
+  cold recompute that re-interns the whole collection adjacency into a
+  fresh graph and iterates from the uniform prior.
 
 Usage::
 
@@ -70,6 +80,8 @@ from repro.simulation.crawler_sim import (  # noqa: E402
     simulate_revisit_allocation,
     simulate_revisit_allocation_reference,
 )
+from repro.ranking.pagerank import pagerank_reference  # noqa: E402
+from repro.ranking.sparse import LinkGraph, pagerank_scores  # noqa: E402
 from repro.simulation.scenarios import paper_table2_policies  # noqa: E402
 from repro.simweb.change_models import PoissonChangeProcess  # noqa: E402
 from repro.simweb.page import SimulatedPage  # noqa: E402
@@ -444,6 +456,165 @@ def bench_collection_store_io(n_records: int) -> Dict:
     }
 
 
+def _synthetic_link_arrays(
+    n_pages: int, out_degree: int, seed: int
+) -> tuple:
+    """A heavy-tailed random link graph as pre-interned id arrays.
+
+    Targets are drawn with density ``~ 3 * (1 - rank)**2`` over the node
+    ids, so low ids accumulate most in-links — the same rich-get-richer
+    skew the synthetic web's cross-site preferential attachment produces.
+    About 5% of the pages state no out-links at all (dangling pages), which
+    keeps the kernels honest about the dangling-mass term.
+    """
+    rng = np.random.default_rng(seed)
+    urls = [f"http://bench.example/p{i}" for i in range(n_pages)]
+    src = np.repeat(np.arange(n_pages, dtype=np.int64), out_degree)
+    dst = (n_pages * rng.random(n_pages * out_degree) ** 3).astype(np.int64)
+    dangling = rng.random(n_pages) < 0.05
+    keep = ~dangling[src]
+    return urls, src[keep], dst[keep]
+
+
+def bench_ranking_power_iteration(
+    n_pages: int, out_degree: int = 8, large_n_pages: int = 0
+) -> Dict:
+    """One PageRank solve: sparse CSR kernel vs the dense dict reference.
+
+    The sparse side is timed from a freshly-loaded :class:`LinkGraph`
+    whose CSR view has not been built yet, so its time covers compaction
+    and CSR assembly — the cost a refinement scan actually pays. When
+    ``large_n_pages`` is set, the sparse kernel additionally builds and
+    solves a graph of that size (reference skipped — the dense loop does
+    not finish at that scale) and records the times in ``params``.
+    """
+    urls, src, dst = _synthetic_link_arrays(n_pages, out_degree, seed=131)
+    counts = np.bincount(src, minlength=n_pages)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    dense = {
+        urls[i]: [urls[j] for j in dst[offsets[i]:offsets[i + 1]]]
+        for i in range(n_pages)
+    }
+    graph = LinkGraph.from_arrays(
+        urls, src, dst, sources=np.arange(n_pages, dtype=np.int64)
+    )
+
+    vec_seconds, (ids, scores) = _timed(lambda: pagerank_scores(graph))
+    ref_seconds, ref = _timed(lambda: pagerank_reference(dense))
+    sparse_by_url = {graph.url_of(int(i)): s for i, s in zip(ids, scores)}
+    assert set(sparse_by_url) == set(ref)
+    delta = max(abs(sparse_by_url[url] - ref[url]) for url in ref)
+
+    params = {"n_pages": n_pages, "out_degree": out_degree}
+    if large_n_pages:
+        large = _synthetic_link_arrays(large_n_pages, out_degree, seed=137)
+        build_seconds, large_graph = _timed(
+            lambda: LinkGraph.from_arrays(
+                large[0], large[1], large[2],
+                sources=np.arange(large_n_pages, dtype=np.int64),
+            )
+        )
+        solve_seconds, (large_ids, large_scores) = _timed(
+            lambda: pagerank_scores(large_graph)
+        )
+        assert len(large_ids) == large_n_pages
+        assert abs(float(large_scores.sum()) - 1.0) < 1e-9
+        params.update(
+            large_n_pages=large_n_pages,
+            large_build_seconds=build_seconds,
+            large_solve_seconds=solve_seconds,
+        )
+    return {
+        "kernel": "ranking_power_iteration",
+        "params": params,
+        "ref_seconds": ref_seconds,
+        "vec_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "max_abs_delta": delta,
+    }
+
+
+def bench_ranking_refinement_scan(
+    n_pages: int, churn_nodes: int, out_degree: int = 8
+) -> Dict:
+    """One steady-state ranking scan: incremental warm path vs cold recompute.
+
+    Setup (untimed) builds a collection-sized ``LinkGraph`` and converges
+    it once — the state the RankingModule carries between scans. A scan
+    then re-states the out-links of ``churn_nodes`` pages (the
+    admissions/replacements since the last scan). The warm path applies
+    those deltas to the live graph and warm-starts power iteration from
+    the previous fixed point; the cold recompute re-interns the entire
+    post-churn adjacency into a fresh graph and iterates from the uniform
+    prior — what every scan cost before the graph became persistent.
+    Both paths run at ``tolerance=1e-11`` so their fixed points agree to
+    well under the harness's mismatch gate.
+    """
+    tolerance = 1e-11
+    urls, src, dst = _synthetic_link_arrays(n_pages, out_degree, seed=139)
+    graph = LinkGraph.from_arrays(
+        urls, src, dst, sources=np.arange(n_pages, dtype=np.int64)
+    )
+    _, previous = pagerank_scores(graph, tolerance=tolerance)
+
+    rng = np.random.default_rng(149)
+    churned = rng.choice(n_pages, size=churn_nodes, replace=False)
+    deltas = [
+        (int(node), (n_pages * rng.random(out_degree) ** 3).astype(np.int64))
+        for node in churned
+    ]
+
+    def warm_scan() -> np.ndarray:
+        for node, targets in deltas:
+            graph.set_outlinks_ids(node, targets)
+        _, scores = pagerank_scores(graph, tolerance=tolerance, x0=previous)
+        return scores
+
+    vec_seconds, warm_scores = _timed(warm_scan)
+
+    # The cold path sees the same post-churn adjacency, as URL lists — the
+    # form the collection's records hold it in.
+    new_targets = dict(deltas)
+    counts = np.bincount(src, minlength=n_pages)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    adjacency = [
+        [urls[j] for j in new_targets[i]]
+        if i in new_targets
+        else [urls[j] for j in dst[offsets[i]:offsets[i + 1]]]
+        for i in range(n_pages)
+    ]
+
+    def cold_scan() -> tuple:
+        rebuilt = LinkGraph()
+        for url, targets in zip(urls, adjacency):
+            rebuilt.set_outlinks(url, targets)
+        _, scores = pagerank_scores(rebuilt, tolerance=tolerance)
+        return rebuilt, scores
+
+    ref_seconds, (rebuilt, cold_scores) = _timed(cold_scan)
+
+    # Align the cold solve's scores (interned in rebuild order) with the
+    # warm graph's id order before comparing.
+    url_index = {url: i for i, url in enumerate(urls)}
+    order = np.array([url_index[u] for u in rebuilt.active_urls()])
+    cold_aligned = np.empty(n_pages)
+    cold_aligned[order] = cold_scores
+    assert len(cold_scores) == n_pages == len(warm_scores)
+    delta = float(np.max(np.abs(warm_scores - cold_aligned)))
+    return {
+        "kernel": "ranking_refinement_scan",
+        "params": {
+            "n_pages": n_pages,
+            "churn_nodes": churn_nodes,
+            "out_degree": out_degree,
+        },
+        "ref_seconds": ref_seconds,
+        "vec_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "max_abs_delta": delta,
+    }
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -472,6 +643,8 @@ def main(argv: List[str] = None) -> int:
                 n_pages=1500, duration_days=12.0, n_sites=30
             ),
             lambda: bench_collection_store_io(n_records=20_000),
+            lambda: bench_ranking_power_iteration(n_pages=4000),
+            lambda: bench_ranking_refinement_scan(n_pages=30_000, churn_nodes=10),
         ]
     else:
         jobs = [
@@ -484,6 +657,12 @@ def main(argv: List[str] = None) -> int:
                 n_pages=10_000, duration_days=100.0, n_sites=250
             ),
             lambda: bench_collection_store_io(n_records=100_000),
+            lambda: bench_ranking_power_iteration(
+                n_pages=100_000, large_n_pages=1_000_000
+            ),
+            lambda: bench_ranking_refinement_scan(
+                n_pages=300_000, churn_nodes=100
+            ),
         ]
 
     results = []

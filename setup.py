@@ -1,11 +1,22 @@
 """Setup shim.
 
-The project is configured through ``pyproject.toml``; this file exists so
-that legacy (non-PEP 517) editable installs — ``pip install -e .
+Kept minimal so legacy (non-PEP 517) editable installs — ``pip install -e .
 --no-use-pep517`` — work in offline environments where the ``wheel``
-package is unavailable.
+package is unavailable. Runtime dependencies are declared here: NumPy for
+every vectorized path, SciPy for the sparse CSR ranking kernels (the
+kernels fall back to a pure-NumPy COO matvec when SciPy is missing, so it
+is a soft requirement at import time — but installs should bring it in).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-incremental-crawler",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+)

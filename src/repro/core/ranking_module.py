@@ -12,19 +12,33 @@ the Collection to make space for the new page."
 Importance is measured with PageRank over the link structure captured in the
 collection (or HITS authority scores); candidate URLs that are not yet
 collected are ranked through the links pointing at them (footnote 2).
+
+Ranking is *incremental*: the module keeps one
+:class:`repro.ranking.sparse.LinkGraph` alive across refinement scans,
+applies only the out-link deltas the crawler produced since the previous
+scan (new pages, changed pages, refinement discards), and warm-starts the
+sparse power iteration from the previous score vector — so the steady-state
+cost of a scan is a delta sync plus a handful of spmv iterations, not a
+from-scratch recompute. The retired dense path is pinned as
+:meth:`RankingModule._compute_importance_reference`; the parity suite holds
+the refinement decisions of both paths identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.allurls import AllUrls
 from repro.core.collurls import CollUrls
 from repro.core.crawl_module import CrawlModule
-from repro.ranking.hits import hits
-from repro.ranking.pagerank import pagerank
+from repro.ranking.hits import hits_reference
+from repro.ranking.pagerank import pagerank_reference
+from repro.ranking.sparse import LinkGraph, hits_scores, pagerank_scores
 from repro.storage.collection import Collection
+from repro.storage.records import PageRecord
 
 
 @dataclass(frozen=True)
@@ -105,6 +119,22 @@ class RankingModule:
         self.scans_completed = 0
         self.pages_replaced = 0
         self.pages_admitted = 0
+        # The live link graph and its sync state: ``_graph_outlinks`` holds
+        # the out-link tuple last pushed into the graph per collected URL,
+        # so a scan only touches pages whose links actually changed.
+        self._graph = LinkGraph()
+        self._graph_outlinks: Dict[str, Tuple[str, ...]] = {}
+        # Warm-start vectors, indexed by interned node id (grown lazily;
+        # NaN marks nodes never scored). Feeding the previous fixed point
+        # back into power iteration is what makes steady-state scans cheap.
+        self._warm_pagerank: Optional[np.ndarray] = None
+        self._warm_hubs: Optional[np.ndarray] = None
+        self._warm_authorities: Optional[np.ndarray] = None
+
+    @property
+    def graph(self) -> LinkGraph:
+        """The live link graph (kept in sync with the collection)."""
+        return self._graph
 
     # ------------------------------------------------------------------ #
     # Refinement scan
@@ -117,11 +147,12 @@ class RankingModule:
         while capacity remains, and replaces the least important collected
         pages with clearly more important candidates.
         """
-        importance = self._compute_importance()
-        self._store_importance(importance)
+        importance = _clamp_residue(self._compute_importance())
+        working = self._collection.working_records()
+        self._store_importance(importance, working)
 
         collected_or_queued = set(self._collurls.urls())
-        for record in self._collection.working_records():
+        for record in working:
             collected_or_queued.add(record.url)
         candidates = self._allurls.candidates(exclude=collected_or_queued)
         candidate_scores = sorted(
@@ -129,22 +160,38 @@ class RankingModule:
             reverse=True,
         )
 
+        # Hoisted capacity state: the collected-or-queued set is built once
+        # and its cardinality maintained across admissions/replacements
+        # (an admission adds one tracked URL; a replacement removes the
+        # victim and adds the newcomer, net zero).
+        tracked = len(collected_or_queued)
+        at_capacity = self._capacity is not None
+
+        # One ascending argsort of collected importance per scan, consumed
+        # as a cursor: each replacement takes the next victim instead of
+        # re-scanning the collection for the minimum.
+        victims = sorted(
+            ((importance.get(record.url, 0.0), record.url) for record in working)
+        )
+        victim_cursor = 0
+
         admitted: List[str] = []
         replacements: List[Tuple[str, str]] = []
         for score, url in candidate_scores:
             if len(replacements) >= self._config.max_replacements_per_scan:
                 break
-            if not self._at_capacity():
+            if not (at_capacity and tracked >= self._capacity):
                 self._collurls.schedule_front(url, at)
+                tracked += 1
                 admitted.append(url)
                 self.pages_admitted += 1
                 continue
-            victim = self._least_important_collected(importance)
-            if victim is None:
+            if victim_cursor >= len(victims):
                 break
-            victim_url, victim_score = victim
+            victim_score, victim_url = victims[victim_cursor]
             if score <= victim_score * (1.0 + self._config.replacement_margin):
                 break
+            victim_cursor += 1
             self._replace(victim_url, url, at)
             replacements.append((victim_url, url))
             self.pages_replaced += 1
@@ -167,23 +214,115 @@ class RankingModule:
     # Checkpointing
     # ------------------------------------------------------------------ #
     def snapshot(self) -> dict:
-        """JSON-serializable module counters (all other state is derived)."""
+        """JSON-serializable module state.
+
+        Beyond the counters this carries the live link graph (interning
+        order, edge buffers) and the warm-start vectors: a resumed run must
+        feed power iteration the exact same starting vector over the exact
+        same CSR as the uninterrupted run, or the converged floats — and
+        with them the stored importance values — would drift at the ulp
+        level and break bit-identical resume.
+        """
         return {
             "scans_completed": self.scans_completed,
             "pages_replaced": self.pages_replaced,
             "pages_admitted": self.pages_admitted,
+            "graph": self._graph.snapshot(),
+            "graph_outlinks": {
+                url: list(links) for url, links in self._graph_outlinks.items()
+            },
+            "warm": {
+                "pagerank": _encode_vector(self._warm_pagerank),
+                "hubs": _encode_vector(self._warm_hubs),
+                "authorities": _encode_vector(self._warm_authorities),
+            },
         }
 
     def restore_snapshot(self, state: dict) -> None:
-        """Restore the counters captured by :meth:`snapshot`."""
+        """Restore the state captured by :meth:`snapshot`."""
         self.scans_completed = int(state["scans_completed"])
         self.pages_replaced = int(state["pages_replaced"])
         self.pages_admitted = int(state["pages_admitted"])
+        graph_state = state.get("graph")
+        self._graph = LinkGraph()
+        if graph_state is not None:
+            self._graph.restore_snapshot(graph_state)
+        self._graph_outlinks = {
+            str(url): tuple(links)
+            for url, links in state.get("graph_outlinks", {}).items()
+        }
+        warm = state.get("warm", {})
+        self._warm_pagerank = _decode_vector(warm.get("pagerank"))
+        self._warm_hubs = _decode_vector(warm.get("hubs"))
+        self._warm_authorities = _decode_vector(warm.get("authorities"))
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _sync_graph(self, records: Sequence[PageRecord]) -> None:
+        """Apply the collection's out-link deltas to the live graph.
+
+        One pass over the working records: pages whose out-links changed
+        since the last scan (new pages, changed re-fetches) restate their
+        edges; pages that left the collection drop theirs. Unchanged pages
+        cost a dict lookup and a tuple compare.
+        """
+        synced = self._graph_outlinks
+        graph = self._graph
+        present = set()
+        for record in records:
+            url = record.url
+            present.add(url)
+            outlinks = tuple(record.outlinks)
+            if synced.get(url) != outlinks:
+                graph.set_outlinks(url, outlinks)
+                synced[url] = outlinks
+        if len(present) != len(synced):
+            for url in [url for url in synced if url not in present]:
+                graph.remove_page(url)
+                del synced[url]
+
     def _compute_importance(self) -> Dict[str, float]:
+        records = self._collection.working_records()
+        self._sync_graph(records)
+        graph = self._graph
+        active_ids = graph.active_ids()
+        if len(active_ids) == 0:
+            return {}
+        if self._config.importance_metric == "hits":
+            ids, hubs, authorities = hits_scores(
+                graph,
+                hubs0=_project_warm(self._warm_hubs, active_ids),
+                authorities0=_project_warm(self._warm_authorities, active_ids),
+            )
+            self._warm_hubs = _absorb_warm(
+                self._warm_hubs, ids, hubs, graph.node_count
+            )
+            self._warm_authorities = _absorb_warm(
+                self._warm_authorities, ids, authorities, graph.node_count
+            )
+            scores = authorities
+        else:
+            ids, scores = pagerank_scores(
+                graph,
+                damping=self._config.damping,
+                x0=_project_warm(self._warm_pagerank, active_ids),
+            )
+            self._warm_pagerank = _absorb_warm(
+                self._warm_pagerank, ids, scores, graph.node_count
+            )
+        url_of = graph.url_of
+        return {
+            url_of(node): score
+            for node, score in zip(ids.tolist(), scores.tolist())
+        }
+
+    def _compute_importance_reference(self) -> Dict[str, float]:
+        """The retired dense path: rebuild the dict graph, cold iteration.
+
+        Pinned for the parity suite — refinement decisions driven by this
+        path and by the sparse incremental path must be identical.
+        """
         graph = {
             record.url: tuple(record.outlinks)
             for record in self._collection.working_records()
@@ -191,32 +330,90 @@ class RankingModule:
         if not graph:
             return {}
         if self._config.importance_metric == "hits":
-            _hubs, authorities = hits(graph)
+            _hubs, authorities = hits_reference(graph)
             return authorities
-        return pagerank(graph, damping=self._config.damping)
+        return pagerank_reference(graph, damping=self._config.damping)
 
-    def _store_importance(self, importance: Dict[str, float]) -> None:
-        for record in self._collection.working_records():
+    def _store_importance(
+        self, importance: Dict[str, float], records: Sequence[PageRecord]
+    ) -> None:
+        store = self._collection.store
+        for record in records:
             score = importance.get(record.url, 0.0)
-            self._collection.store(record.with_importance(score))
-
-    def _at_capacity(self) -> bool:
-        if self._capacity is None:
-            return False
-        in_collection = {record.url for record in self._collection.working_records()}
-        in_collection.update(self._collurls.urls())
-        return len(in_collection) >= self._capacity
-
-    def _least_important_collected(
-        self, importance: Dict[str, float]
-    ) -> Optional[Tuple[str, float]]:
-        records = self._collection.working_records()
-        if not records:
-            return None
-        worst = min(records, key=lambda r: (importance.get(r.url, 0.0), r.url))
-        return worst.url, importance.get(worst.url, 0.0)
+            # Skip no-op stores: steady-state scans leave most importance
+            # values untouched, and re-storing them would churn the journal
+            # and any write-behind backend for nothing.
+            if record.importance != score:
+                store(record.with_importance(score))
 
     def _replace(self, victim_url: str, new_url: str, at: float) -> None:
         self._crawl_module.discard(victim_url)
         self._collurls.remove(victim_url)
         self._collurls.schedule_front(new_url, at)
+
+
+def _clamp_residue(importance: Dict[str, float]) -> Dict[str, float]:
+    """Zero out sub-epsilon numerical residue before ranking decisions.
+
+    HITS power iteration leaves geometric-decay dust (1e-38 and below) on
+    nodes whose exact authority is zero; its magnitude depends on iteration
+    count and summation order, so ordering candidates by it is ordering by
+    implementation noise. Scores below a relative epsilon of the maximum
+    are exactly zero for decision purposes, which makes the refinement
+    decisions insensitive to which importance path produced the scores
+    (PageRank's teleport term floors every score far above the epsilon, so
+    this is a no-op there).
+    """
+    if not importance:
+        return importance
+    floor = max(importance.values()) * 1e-12
+    return {
+        url: (0.0 if score < floor else score)
+        for url, score in importance.items()
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Warm-start plumbing
+# ---------------------------------------------------------------------- #
+def _project_warm(
+    warm: Optional[np.ndarray], active_ids: np.ndarray
+) -> Optional[np.ndarray]:
+    """Previous scores for the active nodes (NaN where never scored)."""
+    if warm is None:
+        return None
+    x0 = np.full(len(active_ids), np.nan)
+    known = active_ids < len(warm)
+    x0[known] = warm[active_ids[known]]
+    return x0
+
+
+def _absorb_warm(
+    warm: Optional[np.ndarray],
+    active_ids: np.ndarray,
+    scores: np.ndarray,
+    node_count: int,
+) -> np.ndarray:
+    """Scatter fresh scores back into the node-id-indexed warm vector."""
+    if warm is None or len(warm) < node_count:
+        grown = np.full(max(node_count, 1), np.nan)
+        if warm is not None:
+            grown[: len(warm)] = warm
+        warm = grown
+    warm[active_ids] = scores
+    return warm
+
+
+def _encode_vector(vector: Optional[np.ndarray]) -> Optional[list]:
+    """JSON-safe warm vector: NaN travels as ``None``."""
+    if vector is None:
+        return None
+    return [None if np.isnan(value) else value for value in vector.tolist()]
+
+
+def _decode_vector(payload: Optional[list]) -> Optional[np.ndarray]:
+    if payload is None:
+        return None
+    return np.array(
+        [np.nan if value is None else float(value) for value in payload]
+    )

@@ -7,20 +7,39 @@ used to select the 400 candidate "popular" sites.
 
 This package implements all three:
 
-* :func:`pagerank` — page-level PageRank by power iteration;
+* :func:`pagerank` — page-level PageRank by sparse power iteration;
 * :func:`site_pagerank` — PageRank over the site hypergraph built by
   collapsing page-level links;
 * :func:`hits` — Kleinberg's hubs-and-authorities scores.
+
+All three ride the sparse kernels in :mod:`repro.ranking.sparse`: a
+:class:`~repro.ranking.sparse.LinkGraph` interns URLs to dense integer ids
+over flat COO edge buffers, compacts into a CSR matrix, and solves with one
+spmv per power-iteration step. The RankingModule keeps one ``LinkGraph``
+alive across refinement scans and warm-starts iteration from the previous
+score vector. The retired dense loops survive as
+:func:`pagerank_reference` / :func:`hits_reference`, pinned by the parity
+suite.
 """
 
-from repro.ranking.pagerank import cho_pagerank, pagerank
+from repro.ranking.pagerank import cho_pagerank, pagerank, pagerank_reference
 from repro.ranking.site_rank import build_site_graph, site_pagerank
-from repro.ranking.hits import hits
+from repro.ranking.hits import hits, hits_reference
+from repro.ranking.sparse import (
+    LinkGraph,
+    hits_scores,
+    pagerank_scores,
+)
 
 __all__ = [
     "pagerank",
+    "pagerank_reference",
     "cho_pagerank",
     "site_pagerank",
     "build_site_graph",
     "hits",
+    "hits_reference",
+    "LinkGraph",
+    "pagerank_scores",
+    "hits_scores",
 ]

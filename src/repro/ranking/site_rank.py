@@ -8,9 +8,10 @@ the popularity of the web site."
 
 :func:`build_site_graph` collapses page-level links into site-level edges
 (parallel links between the same pair of sites are merged; intra-site links
-are dropped) and :func:`site_pagerank` runs PageRank over the result. The
-site-selection step of the experiment reproduction uses this ranking to pick
-the "popular" candidate sites.
+are dropped) and :func:`site_pagerank` runs PageRank — the sparse CSR
+kernel of :mod:`repro.ranking.sparse` — over the result. The site-selection
+step of the experiment reproduction uses this ranking to pick the "popular"
+candidate sites.
 """
 
 from __future__ import annotations

@@ -34,8 +34,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports storage
 CHECKPOINT_STATE_KEY = "checkpoint"
 #: Backend state key under which a completed run's result is stored.
 RESULT_STATE_KEY = "result"
-#: Version stamp of the checkpoint document layout.
-CHECKPOINT_FORMAT = 1
+#: Version stamp of the checkpoint document layout. Format 2 added the
+#: RankingModule's link-graph and warm-start state (sparse incremental
+#: ranking); format-1 checkpoints predate it and cannot resume here.
+CHECKPOINT_FORMAT = 2
 
 
 class CollectionJournal:
