@@ -13,6 +13,13 @@ summary, series, spec hash — and the two stores must hold identical
 per-URL records (fetch timestamps included). This is the paper's
 "incremental crawler you can stop and restart" property, end to end.
 
+The same three-step dance then repeats for a *sharded* spec
+(``engine="sharded"``, two shards in two worker processes): the SIGKILL
+lands on the coordinator once any shard has checkpointed (workers die
+with it via PDEATHSIG), and the resume must replay completed shards from
+their stored results, resume interrupted ones from their namespaced
+checkpoints, and merge to the uninterrupted run's exact result.
+
 Run from the repository root:
 
     PYTHONPATH=src python scripts/kill_resume_smoke.py
@@ -46,6 +53,31 @@ SPEC = {
         "collection_capacity": 200,
         "crawl_budget_per_day": 2000.0,
         "duration_days": 60.0,
+        "measurement_interval_days": 0.5,
+        "track_quality": True,
+        "storage": "sqlite",
+        "checkpoint_every": 1.0,
+    },
+}
+
+SHARDED_SPEC = {
+    "name": "kill-resume-smoke-sharded",
+    "kind": "crawl",
+    "web": {
+        "site_scale": 0.08,
+        "pages_per_site": 30,
+        "horizon_days": 127.0,
+        "new_page_fraction": 0.25,
+        "seed": 42,
+    },
+    "crawler": {
+        "kind": "incremental",
+        "engine": "sharded",
+        "shards": 2,
+        "workers": 2,
+        "collection_capacity": 200,
+        "crawl_budget_per_day": 1500.0,
+        "duration_days": 30.0,
         "measurement_interval_days": 0.5,
         "track_quality": True,
         "storage": "sqlite",
@@ -181,7 +213,109 @@ def main() -> int:
         f"({len(rows_a)} records, mean freshness "
         f"{a['summary']['mean_freshness']:.4f})"
     )
+
+    sharded_phase(tmp)
     return 0
+
+
+def shard_store_paths(base: str, n_shards: int) -> list:
+    return [f"{base}.shard{k:02d}" for k in range(n_shards)]
+
+
+def any_shard_checkpoint(base: str, n_shards: int) -> bool:
+    for k, path in enumerate(shard_store_paths(base, n_shards)):
+        if f"shard{k:02d}/checkpoint" in state_keys(path):
+            return True
+    return False
+
+
+def shard_records(base: str, n_shards: int) -> list:
+    rows = []
+    for path in shard_store_paths(base, n_shards):
+        rows.extend(records_table(path))
+    return sorted(rows)
+
+
+def sharded_phase(tmp: str) -> None:
+    """SIGKILL a two-shard, two-worker run and resume it bit-identically."""
+    n_shards = SHARDED_SPEC["crawler"]["shards"]
+    spec_path = os.path.join(tmp, "sharded_spec.json")
+    with open(spec_path, "w", encoding="utf-8") as handle:
+        json.dump(SHARDED_SPEC, handle)
+    store_c = os.path.join(tmp, "sharded_uninterrupted.sqlite")
+    store_d = os.path.join(tmp, "sharded_killed.sqlite")
+    out_c = os.path.join(tmp, "c.json")
+    out_d = os.path.join(tmp, "d.json")
+
+    print("[1/3] uninterrupted sharded run ...")
+    run_spec(spec_path, "--store", store_c, "--out", out_c, "--compact")
+
+    print("[2/3] sharded run to a shard checkpoint, then SIGKILL the coordinator ...")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run-spec", spec_path,
+         "--store", store_d, "--out", out_d, "--compact"],
+        cwd=REPO,
+        env=cli_env(),
+        stdout=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + KILL_TIMEOUT_SECONDS
+    killed = False
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                "FAIL: the sharded run finished before any shard checkpoint "
+                "could be observed; enlarge the spec so the kill window exists"
+            )
+        if "result" in state_keys(store_d):
+            raise SystemExit(
+                "FAIL: merged result appeared before the kill; the run was "
+                "too fast for this machine"
+            )
+        if any_shard_checkpoint(store_d, n_shards):
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+            killed = True
+            break
+        time.sleep(POLL_SECONDS)
+    if not killed:
+        proc.kill()
+        proc.wait()
+        raise SystemExit("FAIL: no shard checkpoint observed before the timeout")
+    assert proc.returncode == -signal.SIGKILL, proc.returncode
+    assert "result" not in state_keys(store_d)
+    assert not os.path.exists(out_d), "killed run must not have written a result"
+    # The workers carry PR_SET_PDEATHSIG: killing the coordinator reaps
+    # them, so the resumed run never races orphans for the shard stores.
+    # Give the kernel a moment to deliver the signal before resuming.
+    time.sleep(0.5)
+    print(f"      killed mid-run (returncode {proc.returncode})")
+
+    print("[3/3] resume the sharded run from the per-shard stores ...")
+    run_spec(spec_path, "--store", store_d, "--resume", "--out", out_d, "--compact")
+
+    c = result_doc(out_c)
+    d = result_doc(out_d)
+    for key in ("name", "kind", "summary", "series"):
+        if c[key] != d[key]:
+            raise SystemExit(
+                f"FAIL: resumed sharded run differs from uninterrupted in {key!r}"
+            )
+    if c["provenance"]["spec_hash"] != d["provenance"]["spec_hash"]:
+        raise SystemExit("FAIL: spec hash mismatch between sharded runs")
+
+    rows_c = shard_records(store_c, n_shards)
+    rows_d = shard_records(store_d, n_shards)
+    if rows_c != rows_d:
+        raise SystemExit(
+            "FAIL: the sharded stores hold different records "
+            f"({len(rows_c)} vs {len(rows_d)} rows)"
+        )
+
+    print(
+        f"PASS: resumed sharded run is bit-identical to the uninterrupted "
+        f"run ({len(rows_c)} records across {n_shards} shard stores, mean "
+        f"freshness {c['summary']['mean_freshness']:.4f})"
+    )
 
 
 if __name__ == "__main__":

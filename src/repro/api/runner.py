@@ -27,10 +27,11 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.api.registry import SCENARIOS, STORAGE_BACKENDS
-from repro.api.specs import ExperimentSpec, PolicySpec, WebSpec
+from repro.api.specs import CrawlerSpec, ExperimentSpec, PolicySpec, WebSpec
 from repro.api import scenarios as _scenarios  # noqa: F401  (registration side effect)
 from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
 from repro.core.periodic_crawler import PeriodicCrawler, PeriodicCrawlerConfig
+from repro.core.sharded_crawler import ShardedCrawler
 from repro.storage import backends as _backends  # noqa: F401  (registration side effect)
 from repro.storage.backends import StorageBackend
 from repro.storage.checkpoint import (
@@ -194,7 +195,7 @@ def run(
                 return _result_from_state(spec, saved, time.perf_counter() - started)
         if spec.kind == "crawl":
             series, summary, tables, artifacts = _run_crawl(
-                spec, web, backend=backend, resume=resume
+                spec, web, backend=backend, resume=resume, store=store
             )
         elif spec.kind == "monitor":
             series, summary, tables, artifacts = _run_monitor(spec, web)
@@ -283,39 +284,103 @@ def _result_from_state(
 _RunPayload = Tuple[Dict[str, List[float]], Dict[str, Any], Dict[str, Any], Dict[str, Any]]
 
 
+def _incremental_config(
+    crawler_spec: CrawlerSpec, policy: PolicySpec, engine: str
+) -> IncrementalCrawlerConfig:
+    """The crawler-core config a spec describes (engine chosen by caller)."""
+    return IncrementalCrawlerConfig(
+        collection_capacity=crawler_spec.collection_capacity,
+        crawl_budget_per_day=crawler_spec.crawl_budget_per_day,
+        revisit_policy=policy.revisit_policy,
+        estimator=policy.estimator,
+        importance_metric=policy.importance_metric,
+        ranking_interval_days=crawler_spec.ranking_interval_days,
+        reallocation_interval_days=crawler_spec.reallocation_interval_days,
+        use_importance_in_scheduling=policy.use_importance,
+        measurement_interval_days=crawler_spec.measurement_interval_days,
+        default_revisit_interval_days=crawler_spec.default_revisit_interval_days,
+        track_quality=crawler_spec.track_quality,
+        use_politeness=crawler_spec.use_politeness,
+        politeness_min_delay_seconds=crawler_spec.politeness_min_delay_seconds,
+        politeness_night_window=crawler_spec.politeness_night_window,
+        politeness_night_start=crawler_spec.politeness_night_start,
+        politeness_night_duration=crawler_spec.politeness_night_duration,
+        engine=engine,
+    )
+
+
+def _run_sharded_crawl(
+    spec: ExperimentSpec,
+    web: SimulatedWeb,
+    store: Optional[str],
+    resume: bool,
+) -> _RunPayload:
+    """The ``engine="sharded"`` crawl path: fan out, merge, summarize.
+
+    Per-shard persistence (journals, checkpoints, shard results) lives in
+    the coordinator's sibling stores; the base backend opened by
+    :func:`run` only holds the merged result document.
+    """
+    crawler_spec = spec.crawler
+    policy = spec.policy if spec.policy is not None else PolicySpec()
+    crawler = ShardedCrawler(
+        web,
+        _incremental_config(crawler_spec, policy, engine="batched"),
+        shards=crawler_spec.shards or 1,
+        workers=crawler_spec.workers or 1,
+        storage=crawler_spec.storage,
+        store_path=store,
+        checkpoint_every=crawler_spec.checkpoint_every,
+        spec_hash=spec.spec_hash(),
+    )
+    outcome = crawler.run(
+        crawler_spec.duration_days,
+        start_time=crawler_spec.start_time,
+        resume=resume,
+    )
+    times, freshness = outcome.freshness.as_series()
+    series = {
+        "times": [float(t) for t in times],
+        "freshness": [float(f) for f in freshness],
+    }
+    if outcome.quality:
+        series["quality_times"] = [float(t) for t in outcome.quality_times]
+        series["quality"] = [float(q) for q in outcome.quality]
+    summary: Dict[str, Any] = {
+        "mode": crawler_spec.kind,
+        "pages_crawled": outcome.pages_crawled,
+        "collection_size": len(outcome.records),
+        "mean_freshness": outcome.mean_freshness(),
+        "final_quality": outcome.final_quality(),
+        "duration_days": outcome.duration_days,
+        "pages_failed": outcome.pages_failed,
+        "changes_detected": outcome.changes_detected,
+        "pages_replaced": outcome.pages_replaced,
+        "shards": outcome.shards,
+        "workers": outcome.workers,
+    }
+    tables = {"per_shard": outcome.per_shard}
+    artifacts = {"web": web, "crawler": crawler, "outcome": outcome}
+    return series, summary, tables, artifacts
+
+
 def _run_crawl(
     spec: ExperimentSpec,
     web: Optional[SimulatedWeb],
     backend: Optional[StorageBackend] = None,
     resume: bool = False,
+    store: Optional[str] = None,
 ) -> _RunPayload:
     assert spec.web is not None and spec.crawler is not None
     if web is None:
         web = build_web(spec.web, seed=spec.seed)
     crawler_spec = spec.crawler
     policy = spec.policy if spec.policy is not None else PolicySpec()
+    if crawler_spec.engine == "sharded":
+        return _run_sharded_crawl(spec, web, store, resume)
     if crawler_spec.kind == "incremental":
         crawler = IncrementalCrawler(
-            web,
-            IncrementalCrawlerConfig(
-                collection_capacity=crawler_spec.collection_capacity,
-                crawl_budget_per_day=crawler_spec.crawl_budget_per_day,
-                revisit_policy=policy.revisit_policy,
-                estimator=policy.estimator,
-                importance_metric=policy.importance_metric,
-                ranking_interval_days=crawler_spec.ranking_interval_days,
-                reallocation_interval_days=crawler_spec.reallocation_interval_days,
-                use_importance_in_scheduling=policy.use_importance,
-                measurement_interval_days=crawler_spec.measurement_interval_days,
-                default_revisit_interval_days=crawler_spec.default_revisit_interval_days,
-                track_quality=crawler_spec.track_quality,
-                use_politeness=crawler_spec.use_politeness,
-                politeness_min_delay_seconds=crawler_spec.politeness_min_delay_seconds,
-                politeness_night_window=crawler_spec.politeness_night_window,
-                politeness_night_start=crawler_spec.politeness_night_start,
-                politeness_night_duration=crawler_spec.politeness_night_duration,
-                engine=crawler_spec.engine,
-            ),
+            web, _incremental_config(crawler_spec, policy, crawler_spec.engine)
         )
     else:
         crawler = PeriodicCrawler(
@@ -565,7 +630,12 @@ class MatrixResult:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
 
-def run_matrix(matrix: ScenarioMatrix) -> MatrixResult:
+def run_matrix(
+    matrix: ScenarioMatrix,
+    *,
+    workers: int = 1,
+    on_cell: Optional[Any] = None,
+) -> MatrixResult:
     """Execute every cell of the matrix, batching where possible.
 
     Two batching layers keep sweeps cheap:
@@ -575,10 +645,38 @@ def run_matrix(matrix: ScenarioMatrix) -> MatrixResult:
     * scenario cells that differ only along an axis the scenario declares
       via ``batch_param`` are collapsed into a single scenario call that
       receives the whole value list and returns per-cell payloads.
+
+    Args:
+        workers: Number of worker processes to spread the cells over.
+            ``1`` (the default) runs everything in-process, exactly as
+            before. With more, cells run in a process pool; each distinct
+            web is generated once in the parent and shipped to the pool
+            through shared memory, so workers attach zero-copy instead of
+            re-generating or unpickling it. Per-cell results are identical
+            to a serial sweep except that heavy in-memory ``artifacts``
+            (web, crawler, outcome) cannot cross the process boundary and
+            come back empty.
+        on_cell: Optional ``(index, result)`` callback streamed in
+            deterministic cell order — cell ``i`` is always delivered
+            before cell ``i+1``, regardless of which worker finished
+            first.
+
+    Returns:
+        The :class:`MatrixResult`; ``cells`` is ordered by cell index in
+        both modes.
     """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
     started = time.perf_counter()
     cells = matrix.cells()
     results: Dict[int, ExperimentResult] = {}
+    emitted = 0
+
+    def flush() -> None:
+        nonlocal emitted
+        while on_cell is not None and emitted in results:
+            on_cell(emitted, results[emitted])
+            emitted += 1
 
     # Batched scenario axes.
     remaining: List[Tuple[int, Dict[str, Any], ExperimentSpec]] = []
@@ -625,18 +723,23 @@ def run_matrix(matrix: ScenarioMatrix) -> MatrixResult:
                 artifacts=artifacts,
             )
         remaining = []
+        flush()
 
     # Everything else: run per cell with a shared-web cache.
-    web_cache: Dict[str, SimulatedWeb] = {}
-    for index, assignment, spec in remaining:
-        web = None
-        if spec.kind in ("crawl", "monitor") and spec.web is not None:
-            cache_key = spec.web.spec_hash() + f"/{spec.effective_seed()}"
-            web = web_cache.get(cache_key)
-            if web is None:
-                web = build_web(spec.web, seed=spec.seed)
-                web_cache[cache_key] = web
-        results[index] = run(spec, web=web)
+    if workers > 1 and len(remaining) > 1:
+        _run_cells_parallel(remaining, results, workers, flush)
+    else:
+        web_cache: Dict[str, SimulatedWeb] = {}
+        for index, assignment, spec in remaining:
+            web = None
+            cache_key = _web_cache_key(spec)
+            if cache_key is not None:
+                web = web_cache.get(cache_key)
+                if web is None:
+                    web = build_web(spec.web, seed=spec.seed)
+                    web_cache[cache_key] = web
+            results[index] = run(spec, web=web)
+            flush()
 
     ordered = [results[index] for index in range(len(cells))]
     return MatrixResult(
@@ -644,6 +747,150 @@ def run_matrix(matrix: ScenarioMatrix) -> MatrixResult:
         cells=ordered,
         wall_time_seconds=time.perf_counter() - started,
     )
+
+
+def _web_cache_key(spec: ExperimentSpec) -> Optional[str]:
+    """The shared-web cache key of a cell, or ``None`` when it needs no web."""
+    if spec.kind in ("crawl", "monitor") and spec.web is not None:
+        return spec.web.spec_hash() + f"/{spec.effective_seed()}"
+    return None
+
+
+def _matrix_pool_worker(tasks: Any, results_queue: Any) -> None:
+    """Process-pool worker: pull cell jobs until the ``None`` sentinel.
+
+    Webs arrive as :class:`~repro.simweb.shared.SharedWebPayload` names and
+    are materialised zero-copy, then cached per worker by cache key so a
+    worker running several cells over the same web attaches once.
+    """
+    from repro.simweb.shared import install_parent_death_signal
+
+    install_parent_death_signal()
+    webs: Dict[str, SimulatedWeb] = {}
+    while True:
+        job = tasks.get()
+        if job is None:
+            break
+        index, spec, payload, cache_key = job
+        try:
+            web = None
+            if payload is not None:
+                web = webs.get(cache_key)
+                if web is None:
+                    web = payload.materialise()
+                    webs[cache_key] = web
+            result = run(spec, web=web)
+            results_queue.put(
+                (
+                    "result",
+                    index,
+                    {
+                        "name": result.name,
+                        "kind": result.kind,
+                        "spec_hash": result.spec_hash,
+                        "seed": result.seed,
+                        "wall_time_seconds": result.wall_time_seconds,
+                        "series": result.series,
+                        "summary": result.summary,
+                        "tables": result.tables,
+                    },
+                )
+            )
+        except BaseException:
+            import traceback
+
+            try:
+                results_queue.put(("error", index, traceback.format_exc()))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+            break
+
+
+def _run_cells_parallel(
+    remaining: List[Tuple[int, Dict[str, Any], ExperimentSpec]],
+    results: Dict[int, ExperimentResult],
+    workers: int,
+    flush: Any,
+) -> None:
+    """Run matrix cells on a spawn-based process pool with shared webs.
+
+    Every distinct ``(web spec, seed)`` is generated once here and packed
+    into shared memory; workers attach zero-copy. Cell jobs are enqueued in
+    cell-index order and whichever worker is free takes the next, so the
+    pool stays busy regardless of per-cell cost skew; results are keyed by
+    index, making the outcome independent of scheduling.
+    """
+    import multiprocessing
+    import queue as queue_module
+
+    from repro.simweb.shared import SharedWeb
+
+    ctx = multiprocessing.get_context("spawn")
+    tasks = ctx.Queue()
+    results_queue = ctx.Queue()
+    shared_webs: Dict[str, SharedWeb] = {}
+    processes: List[Any] = []
+    n_workers = min(workers, len(remaining))
+    try:
+        for index, assignment, spec in remaining:
+            cache_key = _web_cache_key(spec)
+            payload = None
+            if cache_key is not None:
+                shared = shared_webs.get(cache_key)
+                if shared is None:
+                    shared = SharedWeb(build_web(spec.web, seed=spec.seed))
+                    shared_webs[cache_key] = shared
+                payload = shared.payload
+            tasks.put((index, spec, payload, cache_key))
+        for _ in range(n_workers):
+            tasks.put(None)
+        for _ in range(n_workers):
+            process = ctx.Process(
+                target=_matrix_pool_worker,
+                args=(tasks, results_queue),
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+        received = 0
+        while received < len(remaining):
+            try:
+                message = results_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [p for p in processes if not p.is_alive() and p.exitcode != 0]
+                if dead and received < len(remaining):
+                    raise RuntimeError(
+                        f"matrix worker exited with code {dead[0].exitcode} "
+                        "without reporting its cell"
+                    )
+                continue
+            kind, index, payload = message
+            if kind == "error":
+                raise RuntimeError(f"matrix cell {index} failed:\n{payload}")
+            received += 1
+            results[index] = ExperimentResult(
+                name=payload["name"],
+                kind=payload["kind"],
+                spec_hash=payload["spec_hash"],
+                seed=payload["seed"],
+                wall_time_seconds=payload["wall_time_seconds"],
+                series=payload["series"],
+                summary=payload["summary"],
+                tables=payload["tables"],
+                artifacts={},
+            )
+            flush()
+        for process in processes:
+            process.join()
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join()
+        tasks.close()
+        results_queue.close()
+        for shared in shared_webs.values():
+            shared.close()
 
 
 def _single_batchable_axis(

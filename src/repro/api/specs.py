@@ -254,9 +254,18 @@ class CrawlerSpec(_SpecBase):
         politeness_night_duration: Length of the nightly window as a
             fraction of a day (0.375 = nine hours).
         engine: Crawl-loop engine — ``"batched"`` (tick-window batching,
-            the default) or ``"reference"`` (the pinned per-URL path).
-            Both engines produce bit-identical results, with or without
-            politeness.
+            the default), ``"reference"`` (the pinned per-URL path) or
+            ``"sharded"`` (site-affine shards run by the batched engine,
+            optionally in worker processes; incremental only). Batched and
+            reference produce bit-identical results, with or without
+            politeness; ``sharded`` with ``shards=1`` is bit-identical to
+            batched.
+        shards: Number of site-affine shards (``engine="sharded"`` only).
+            Results for a fixed ``(seed, shards)`` are reproducible
+            regardless of worker count and scheduling.
+        workers: Number of worker processes running the shards
+            (``engine="sharded"`` only); capped at ``shards``. ``1`` with
+            ``shards=1`` runs inline, with no processes spawned.
         storage: Optional registered storage-backend name
             (:data:`repro.api.registry.STORAGE_BACKENDS` — ``"memory"``,
             ``"sqlite"`` or ``"columnar"`` out of the box). When set, the
@@ -284,14 +293,29 @@ class CrawlerSpec(_SpecBase):
     politeness_night_start: float = 0.875
     politeness_night_duration: float = 0.375
     engine: str = "batched"
+    shards: Optional[int] = None
+    workers: Optional[int] = None
     storage: Optional[str] = None
     checkpoint_every: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in CRAWLER_KINDS:
             raise _unknown_choice("crawler kind", self.kind, CRAWLER_KINDS)
-        if self.engine not in CRAWL_ENGINES:
-            raise _unknown_choice("crawl engine", self.engine, CRAWL_ENGINES)
+        spec_engines = CRAWL_ENGINES + ("sharded",)
+        if self.engine not in spec_engines:
+            raise _unknown_choice("crawl engine", self.engine, spec_engines)
+        if self.engine == "sharded" and self.kind != "incremental":
+            raise ValueError("the sharded engine supports incremental crawls only")
+        if self.shards is not None:
+            if self.engine != "sharded":
+                raise ValueError("shards requires engine='sharded'")
+            if self.shards < 1:
+                raise ValueError("shards must be at least 1")
+        if self.workers is not None:
+            if self.engine != "sharded":
+                raise ValueError("workers requires engine='sharded'")
+            if self.workers < 1:
+                raise ValueError("workers must be at least 1")
         if self.duration_days <= 0:
             raise ValueError("duration_days must be positive")
         if self.start_time < 0:
@@ -328,15 +352,15 @@ class CrawlerSpec(_SpecBase):
                 raise ValueError("checkpoint_every must be positive")
             if self.storage is None:
                 raise ValueError("checkpoint_every requires a storage backend")
-            if self.engine != "batched":
+            if self.engine not in ("batched", "sharded"):
                 raise ValueError(
-                    "checkpoint_every requires the batched engine (the "
-                    "reference engine's event queue cannot be snapshotted)"
+                    "checkpoint_every requires the batched or sharded engine "
+                    "(the reference engine's event queue cannot be snapshotted)"
                 )
 
     @classmethod
     def _omit_when_none(cls) -> Tuple[str, ...]:
-        return ("storage", "checkpoint_every")
+        return ("shards", "workers", "storage", "checkpoint_every")
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,9 @@ routes it through :func:`repro.api.runner.run`.
 ``python -m repro run-spec FILE.json``
     Run a JSON-defined experiment end to end and emit the JSON result
     (with seed and spec-hash provenance).
+``python -m repro run-matrix FILE.json``
+    Run a JSON scenario matrix (a base spec crossed with axes of values),
+    optionally across worker processes, and emit every cell's JSON result.
 ``python -m repro list-scenarios``
     List the registered scenarios, revisit policies, estimators and change
     models available to specs.
@@ -40,7 +43,7 @@ from repro.api.registry import (
     SCENARIOS,
     STORAGE_BACKENDS,
 )
-from repro.api.runner import build_web, run
+from repro.api.runner import ScenarioMatrix, build_web, run, run_matrix
 from repro.api.specs import CrawlerSpec, ExperimentSpec, PolicySpec, WebSpec
 
 
@@ -122,6 +125,31 @@ def build_parser() -> argparse.ArgumentParser:
              "(requires crawler.checkpoint_every in the spec)",
     )
 
+    run_matrix = subparsers.add_parser(
+        "run-matrix",
+        help="run a JSON scenario matrix (base spec x axes) and print the "
+             "JSON results",
+    )
+    run_matrix.add_argument(
+        "matrix",
+        help="path to a matrix JSON file ('-' = stdin) with a 'base' "
+             "ExperimentSpec and an 'axes' mapping of field paths to value "
+             "lists",
+    )
+    run_matrix.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes to spread the cells over (1 = in-process); "
+             "results are identical to a serial sweep",
+    )
+    run_matrix.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSON matrix result to FILE",
+    )
+    run_matrix.add_argument(
+        "--compact", action="store_true",
+        help="emit compact JSON instead of indented",
+    )
+
     subparsers.add_parser(
         "list-scenarios",
         help="list registered scenarios, policies, estimators and change models",
@@ -144,6 +172,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run-crawler": _cmd_run_crawler,
         "compare-policies": _cmd_compare_policies,
         "run-spec": _cmd_run_spec,
+        "run-matrix": _cmd_run_matrix,
         "list-scenarios": _cmd_list_scenarios,
         "list-backends": _cmd_list_backends,
     }
@@ -264,6 +293,40 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     except (TypeError, ValueError) as error:
         # e.g. scenario/monitor parameters rejected at call time.
         print(f"experiment failed: {error}", file=sys.stderr)
+        return 2
+    payload = result.to_json(indent=None if args.compact else 2)
+    print(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    return 0
+
+
+def _cmd_run_matrix(args: argparse.Namespace) -> int:
+    if args.matrix == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.matrix, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        document = json.loads(text)
+        if not isinstance(document, dict) or "base" not in document:
+            raise ValueError("a matrix file needs a 'base' experiment spec")
+        axes = document.get("axes")
+        if not isinstance(axes, dict):
+            raise ValueError("a matrix file needs an 'axes' mapping of "
+                             "field paths to value lists")
+        base = ExperimentSpec.from_dict(document["base"])
+        if "name" in document:
+            base = base.replace(name=str(document["name"]))
+        matrix = ScenarioMatrix(base=base, axes=axes)
+    except (TypeError, ValueError, json.JSONDecodeError) as error:
+        print(f"invalid scenario matrix: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = run_matrix(matrix, workers=args.workers)
+    except (TypeError, ValueError) as error:
+        print(f"matrix sweep failed: {error}", file=sys.stderr)
         return 2
     payload = result.to_json(indent=None if args.compact else 2)
     print(payload)

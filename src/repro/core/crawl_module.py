@@ -11,7 +11,7 @@ because fetch latency is charged on the virtual clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Set
+from typing import Callable, Dict, Optional, Sequence, Set
 
 import numpy as np
 
@@ -70,6 +70,11 @@ class CrawlModule:
         fetcher: The fetch substrate.
         collection: The collection to store fetched copies in.
         allurls: The discovered-URL registry to forward extracted links to.
+        link_filter: Optional predicate applied to extracted out-links
+            before they are forwarded to AllUrls. A site-affine crawl shard
+            keeps only links into sites it owns, so its discovered universe
+            never leaves the shard. ``None`` forwards every link (the
+            unsharded behaviour, byte for byte).
     """
 
     def __init__(
@@ -77,10 +82,12 @@ class CrawlModule:
         fetcher: SimulatedFetcher,
         collection: Collection,
         allurls: AllUrls,
+        link_filter: Optional[Callable[[str], bool]] = None,
     ) -> None:
         self._fetcher = fetcher
         self._collection = collection
         self._allurls = allurls
+        self._link_filter = link_filter
         self.pages_fetched = 0
         self.pages_failed = 0
         # Batched-path bookkeeping. ``_stored_versions`` maps a stored URL to
@@ -130,7 +137,10 @@ class CrawlModule:
 
         self.pages_fetched += 1
         self._allurls.add(url, discovered_at=result.completed_at)
-        self._allurls.record_links(url, result.outlinks, result.completed_at)
+        outlinks = result.outlinks
+        if self._link_filter is not None:
+            outlinks = [link for link in outlinks if self._link_filter(link)]
+        self._allurls.record_links(url, outlinks, result.completed_at)
 
         existing = self._collection.get_working(url)
         if existing is None:
@@ -220,7 +230,12 @@ class CrawlModule:
                 continue
             if url not in links_recorded:
                 allurls.add(url, discovered_at=completed_i)
-                allurls.record_links(url, self._fetcher.outlinks_of(url), completed_i)
+                outlinks = self._fetcher.outlinks_of(url)
+                if self._link_filter is not None:
+                    outlinks = [
+                        link for link in outlinks if self._link_filter(link)
+                    ]
+                allurls.record_links(url, outlinks, completed_i)
                 links_recorded.add(url)
             existing = collection.get_working(url)
             if existing is None:

@@ -48,6 +48,7 @@ from repro.core.collurls import CollUrls
 from repro.core.crawl_module import CrawlModule
 from repro.core.quality import CollectionQualityCache
 from repro.core.ranking_module import RankingModule, RankingModuleConfig
+from repro.core.sharding import ShardEngine, ShardView
 from repro.core.update_module import UpdateModule, UpdateModuleConfig
 from repro.fetch.fetcher import SimulatedFetcher
 from repro.fetch.politeness import NightWindow, PolitenessPolicy
@@ -206,7 +207,18 @@ class IncrementalCrawler:
     Args:
         web: The synthetic web to crawl.
         config: Crawler configuration.
-        seed_urls: Starting URLs; defaults to every site's root page.
+        seed_urls: Starting URLs; defaults to every site's root page (or,
+            with a shard view, the view's seed list).
+        shard_view: Optional :class:`~repro.core.sharding.ShardView`
+            restricting this crawler to one site-affine shard of the URL
+            space. The view supplies the default seeds, filters discovered
+            links to owned sites (so the shard's AllUrls universe stays
+            local), arms the politeness site-affinity guard and restricts
+            the quality denominator to attainable-within-shard mass. The
+            config's capacity and budget should already be the shard's
+            slice (``ShardedCrawler`` passes a per-shard config). ``None``
+            — the default — is the unsharded crawler, byte-for-byte the
+            pre-shard behaviour.
     """
 
     def __init__(
@@ -214,18 +226,37 @@ class IncrementalCrawler:
         web: SimulatedWeb,
         config: Optional[IncrementalCrawlerConfig] = None,
         seed_urls: Optional[Sequence[str]] = None,
+        shard_view: Optional[ShardView] = None,
     ) -> None:
         self._web = web
         self._config = config if config is not None else IncrementalCrawlerConfig()
-        self._seeds = list(seed_urls) if seed_urls is not None else web.seed_urls()
+        self._shard_view = shard_view
+        if seed_urls is not None:
+            self._seeds = list(seed_urls)
+        elif shard_view is not None:
+            self._seeds = list(shard_view.seed_urls)
+        else:
+            self._seeds = web.seed_urls()
         if not self._seeds:
             raise ValueError("the crawler needs at least one seed URL")
 
-        self._fetcher = SimulatedFetcher(web, politeness=self._config.build_politeness())
+        allowed_sites = None
+        link_filter = None
+        if shard_view is not None and not shard_view.is_total:
+            allowed_sites = frozenset(shard_view.site_ids)
+            link_filter = self._owns_url
+        politeness = self._config.build_politeness()
+        if politeness is not None and allowed_sites is not None:
+            # Site-affinity contract: per-site politeness state must never
+            # cross a shard boundary, so a foreign-site request raises.
+            politeness.allowed_sites = allowed_sites
+        self._fetcher = SimulatedFetcher(web, politeness=politeness)
         self._collection = InPlaceCollection(capacity=self._config.collection_capacity)
         self._allurls = AllUrls()
         self._collurls = CollUrls()
-        self._crawl_module = CrawlModule(self._fetcher, self._collection, self._allurls)
+        self._crawl_module = CrawlModule(
+            self._fetcher, self._collection, self._allurls, link_filter=link_filter
+        )
         self._update_module = UpdateModule(
             self._collurls,
             self._crawl_module,
@@ -247,6 +278,21 @@ class IncrementalCrawler:
             capacity=self._config.collection_capacity,
         )
         self._quality_cache: Optional[CollectionQualityCache] = None
+        #: Optional hook invoked after every measurement event with
+        #: ``(at, freshness, quality-or-None)``; the sharded coordinator
+        #: uses it to stream per-window results over its queue.
+        self.on_measure = None
+
+    def _owns_url(self, url: str) -> bool:
+        """Shard link filter: keep only URLs of sites this shard owns.
+
+        URLs the web does not know cannot be routed to a site (and could
+        never be fetched successfully), so they are dropped too — each
+        shard's discovered universe stays site-affine by construction.
+        """
+        if url not in self._web:
+            return False
+        return self._shard_view.owns_site(self._web.page(url).site_id)
 
     # ------------------------------------------------------------------ #
     # Accessors (useful for tests and examples)
@@ -414,83 +460,34 @@ class IncrementalCrawler:
     ) -> None:
         """The batched engine: crawl slots drained one tick window at a time.
 
-        The :class:`StreamScheduler` carries the three recurring streams
-        with the reference engine's exact ``(time, sequence)`` ordering.
-        When a crawl event pops, every follow-up crawl slot that would have
-        run before the next ranking/measurement event is folded into one
-        ``process_slots`` call; each folded slot claims the sequence number
-        its per-event counterpart would have consumed, so every tie-break —
-        now and later in the run — resolves identically. Slot times are
-        accumulated with the same float additions the reference engine
-        performs, keeping fetch timestamps bit-identical.
-
-        Checkpoints are taken at the top of the loop, *before* the head
-        event pops: the snapshot reads state only (no sequence numbers are
-        consumed, no float is recomputed), so a checkpointed run is the same
-        run — and a resume restores the scheduler with the head event still
-        pending, replaying it exactly as the uninterrupted run would have.
+        The loop itself lives in :class:`~repro.core.sharding.ShardEngine`
+        (extracted so sharded workers drive the identical code); this
+        method builds the engine around this crawler's modules and
+        delegates. See the engine's docstring for the tick-window and
+        checkpoint semantics.
         """
-        if scheduler is None:
-            scheduler = StreamScheduler()
-            scheduler.schedule(start_time, "crawl")
-            scheduler.schedule(start_time, "ranking")
-            scheduler.schedule(start_time, "measure")
-        crawl_period = 1.0 / self._config.crawl_budget_per_day
-        epsilon = 1e-12
-
-        while True:
-            head = scheduler.peek()
-            if head is None or head[0] > end_time + epsilon:
-                break
-            if checkpointer is not None and checkpointer.due(head[0]):
-                checkpointer.save(
-                    self._snapshot_state(
-                        head[0], start_time, end_time, scheduler, tracker, result
-                    ),
-                    head[0],
-                )
-            at, _sequence, label = scheduler.pop()
-            if label == "crawl":
-                # Fold every crawl slot that precedes the next other-stream
-                # event into one batch. The other streams cannot move while
-                # only crawl slots run, so their head is read once; each
-                # folded slot still consumes the sequence number its
-                # per-event counterpart would have, keeping all later
-                # tie-breaks identical. Slot times accumulate with the same
-                # float additions the reference engine performs.
-                slots = [at]
-                append = slots.append
-                next_time = at + crawl_period
-                other = scheduler.peek()
-                if other is None:
-                    other_time, other_sequence = float("inf"), 0
-                else:
-                    other_time, other_sequence = other[0], other[1]
-                base_sequence = scheduler.next_sequence
-                claimed = 0
-                limit = end_time + epsilon
-                while next_time <= limit:
-                    if next_time > other_time or (
-                        next_time == other_time
-                        and other_sequence < base_sequence + claimed
-                    ):
-                        break
-                    append(next_time)
-                    claimed += 1
-                    next_time += crawl_period
-                scheduler.claim_sequences(claimed)
-                scheduler.schedule(next_time, "crawl")
-                self._update_module.process_slots(slots)
-            elif label == "ranking":
-                refinement = self._ranking_module.refine(at)
-                self._update_module.set_importance(refinement.importance)
-                self._refresh_journal_records()
-                scheduler.schedule(at + self._config.ranking_interval_days, "ranking")
-            else:
-                tracker.sample(at)
-                if self._config.track_quality:
-                    self._sample_quality(result, at)
-                scheduler.schedule(at + self._config.measurement_interval_days, "measure")
+        engine = ShardEngine(
+            update_module=self._update_module,
+            ranking_module=self._ranking_module,
+            crawl_budget_per_day=self._config.crawl_budget_per_day,
+            ranking_interval_days=self._config.ranking_interval_days,
+            measurement_interval_days=self._config.measurement_interval_days,
+            track_quality=self._config.track_quality,
+            sample_quality=lambda at: self._sample_quality(result, at),
+            refresh_journal=self._refresh_journal_records,
+            on_measure=self.on_measure,
+            view=self._shard_view,
+        )
+        engine.run(
+            start_time,
+            end_time,
+            tracker,
+            checkpointer=checkpointer,
+            scheduler=scheduler,
+            snapshot=lambda at, sched: self._snapshot_state(
+                at, start_time, end_time, sched, tracker, result
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -509,14 +506,39 @@ class IncrementalCrawler:
                 fresh.append(url)
         self._collurls.schedule_many(fresh, [start_time] * len(fresh))
 
-    def _sample_quality(self, result: CrawlRunResult, at: float) -> None:
+    def _sample_quality(self, result: CrawlRunResult, at: float) -> float:
         if self._quality_cache is None:
+            subset = None
+            if self._shard_view is not None and not self._shard_view.is_total:
+                # A shard can only ever collect pages of the sites it owns,
+                # so its attainable mass is the best `capacity` pages *within
+                # the shard*. The per-shard attainable masses are the weights
+                # the coordinator merges shard quality series with.
+                subset = [
+                    page.url
+                    for site_id in self._shard_view.site_ids
+                    for page in self._web.site(site_id).all_pages
+                ]
             self._quality_cache = CollectionQualityCache(
-                self._web, capacity=self._config.collection_capacity
+                self._web,
+                capacity=self._config.collection_capacity,
+                subset=subset,
             )
         quality = self._quality_cache.quality(self._collection.current_urls())
         result.quality.append(quality)
         result.quality_times.append(at)
+        return quality
+
+    def quality_attainable(self) -> Optional[float]:
+        """Attainable importance mass of this crawler's quality denominator.
+
+        ``None`` until the first quality sample built the cache (or when
+        quality tracking is off). The sharded coordinator uses these masses
+        as the deterministic weights of its merged quality series.
+        """
+        if self._quality_cache is None:
+            return None
+        return self._quality_cache.attainable_mass
 
     def _refresh_journal_records(self) -> None:
         """Mirror the full collection after a ranking scan rewrote importance."""

@@ -45,19 +45,39 @@ class CollectionQualityCache:
         web: The synthetic web (ground truth).
         capacity: Collection capacity the denominator is computed for.
         damping: PageRank damping factor.
+        subset: Optional URL universe the denominator is restricted to —
+            a site-affine crawl shard can only ever collect pages of the
+            sites it owns, so its attainable mass is the best ``capacity``
+            pages *within that subset*. Importance itself stays the
+            whole-web ground truth. ``None`` keeps the full-web denominator.
     """
 
-    def __init__(self, web: SimulatedWeb, capacity: int, damping: float = 0.85) -> None:
+    def __init__(
+        self,
+        web: SimulatedWeb,
+        capacity: int,
+        damping: float = 0.85,
+        subset: Optional[Iterable[str]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self._importance = true_page_importance(web, damping=damping)
-        best_scores = sorted(self._importance.values(), reverse=True)[:capacity]
+        if subset is None:
+            scores = list(self._importance.values())
+        else:
+            scores = [self._importance.get(url, 0.0) for url in subset]
+        best_scores = sorted(scores, reverse=True)[:capacity]
         self._attainable = sum(best_scores)
 
     @property
     def importance(self) -> Dict[str, float]:
         """The ground-truth importance table (shared, do not mutate)."""
         return self._importance
+
+    @property
+    def attainable_mass(self) -> float:
+        """The denominator: best-``capacity`` importance mass attainable."""
+        return self._attainable
 
     def quality(self, collected_urls: Iterable[str]) -> float:
         """Quality of a collection given its current URLs.

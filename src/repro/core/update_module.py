@@ -826,6 +826,68 @@ class UpdateModule:
             "changes_detected": self.changes_detected,
         }
 
+    @classmethod
+    def merge_snapshots(cls, snapshots: Sequence[dict]) -> dict:
+        """Combine per-shard :meth:`snapshot` payloads into one document.
+
+        Shards own disjoint URL universes (site-affine partitioning), so
+        the URL-keyed tables union without collisions; the union iterates
+        ``snapshots`` in order, which makes the merged document a pure
+        function of the (deterministically ordered) shard results. The
+        module-level counters sum. Per-estimator internals are *not*
+        blended into one estimator state — each shard's estimator observed
+        only its own pages, so blending would fabricate a history no
+        crawler ever had; instead the merged document keeps every shard's
+        estimator state verbatim under ``"shards"`` and the scalar tables
+        a consumer actually reads (rates, intervals, importance) merged.
+
+        A single-shard merge returns that snapshot unchanged — this is
+        what makes ``shards=1`` bit-identical to the unsharded engine.
+        """
+        snapshots = list(snapshots)
+        if not snapshots:
+            raise ValueError("merge_snapshots needs at least one snapshot")
+        if len(snapshots) == 1:
+            return snapshots[0]
+        merged = {
+            "histories": {},
+            "rate_estimates": {},
+            "intervals": {},
+            "importance": {},
+            "last_reallocation": None,
+            "estimator": None,
+            "pages_processed": 0,
+            "changes_detected": 0,
+            "shards": [],
+        }
+        for snapshot in snapshots:
+            for table in ("histories", "rate_estimates", "intervals"):
+                for url, value in snapshot[table].items():
+                    if url in merged[table]:
+                        raise ValueError(
+                            f"URL {url!r} appears in more than one shard "
+                            "snapshot; shard universes must be disjoint"
+                        )
+                    merged[table][url] = value
+            # Importance is *derived* data — the ranking scan scores every
+            # link-graph node, including foreign-site link targets a shard
+            # discovered but never crawled, so scores for a foreign root can
+            # legitimately appear in several shards. First shard wins
+            # (shard-index order), which keeps the merge deterministic; the
+            # crawled-page tables above stay strictly disjoint.
+            for url, value in snapshot["importance"].items():
+                merged["importance"].setdefault(url, value)
+            last = snapshot["last_reallocation"]
+            if last is not None and (
+                merged["last_reallocation"] is None
+                or last > merged["last_reallocation"]
+            ):
+                merged["last_reallocation"] = last
+            merged["pages_processed"] += int(snapshot["pages_processed"])
+            merged["changes_detected"] += int(snapshot["changes_detected"])
+            merged["shards"].append(snapshot["estimator"])
+        return merged
+
     def restore_snapshot(self, state: dict) -> None:
         """Rebuild module state exactly as captured by :meth:`snapshot`."""
         self._histories = {

@@ -215,17 +215,26 @@ class PolitenessPolicy:
             crawling around the clock, which is what the production
             incremental crawler (as opposed to the monitoring experiment)
             would do.
+        allowed_sites: Optional site-affinity contract. When set, recording
+            a request against a site outside the set raises — per-site
+            politeness state is the one piece of crawler state that must
+            never cross a shard boundary, so a crawl shard wires the sites
+            it owns here and any routing bug surfaces immediately instead
+            of as a silently-diverged delay chain. ``None`` (the unsharded
+            crawler) accepts every site.
     """
 
     def __init__(
         self,
         min_delay_seconds: float = 10.0,
         night_window: Optional[NightWindow] = None,
+        allowed_sites: Optional[frozenset] = None,
     ) -> None:
         if min_delay_seconds < 0:
             raise ValueError("min_delay_seconds must be non-negative")
         self.min_delay_days = seconds_to_days(min_delay_seconds)
         self.night_window = night_window
+        self.allowed_sites = allowed_sites
         self._last_request: Dict[str, float] = {}
         # Dense mirror of _last_request used by the indexed batch API:
         # _dense[i] is the last recorded request to _dense_names[i], or
@@ -247,6 +256,11 @@ class PolitenessPolicy:
 
     def record_request(self, site_id: str, t: float) -> None:
         """Record that a request to ``site_id`` was issued at time ``t``."""
+        if self.allowed_sites is not None and site_id not in self.allowed_sites:
+            raise ValueError(
+                f"request to site {site_id!r} crosses the shard boundary: "
+                "this policy only owns politeness state for its shard's sites"
+            )
         last = self._last_request.get(site_id)
         if last is None or t > last:
             self._last_request[site_id] = t
@@ -360,9 +374,15 @@ class PolitenessPolicy:
         # site is the one that sticks — dict(zip(...)) keeps exactly that.
         dense = self._dense
         dense_map = self._dense_map
+        allowed_sites = self.allowed_sites
         for site_id, start in dict(zip(site_ids, starts)).items():
             if site_id is None:
                 continue
+            if allowed_sites is not None and site_id not in allowed_sites:
+                raise ValueError(
+                    f"request to site {site_id!r} crosses the shard boundary: "
+                    "this policy only owns politeness state for its shard's sites"
+                )
             value = float(start)
             previous = last_map.get(site_id)
             if previous is None or value > previous:
@@ -483,8 +503,15 @@ class PolitenessPolicy:
         np.maximum.at(dense, touched, starts[valid])
         last_map = self._last_request
         names = self._dense_names
+        allowed_sites = self.allowed_sites
         for site_pos in np.unique(touched).tolist():
-            last_map[names[site_pos]] = float(dense[site_pos])
+            name = names[site_pos]
+            if allowed_sites is not None and name not in allowed_sites:
+                raise ValueError(
+                    f"request to site {name!r} crosses the shard boundary: "
+                    "this policy only owns politeness state for its shard's sites"
+                )
+            last_map[name] = float(dense[site_pos])
 
     def reset(self) -> None:
         """Forget all recorded requests (used between simulation runs)."""

@@ -40,6 +40,23 @@ RESULT_STATE_KEY = "result"
 CHECKPOINT_FORMAT = 2
 
 
+def namespaced_state_key(namespace: Optional[str], key: str) -> str:
+    """Qualify a backend state key with an optional namespace.
+
+    A sharded crawl stores several independent state streams (one per
+    shard) and must never let them collide with each other or with a
+    plain run's keys; ``namespaced_state_key("shard00", "checkpoint")``
+    yields ``"shard00/checkpoint"``. ``None`` returns ``key`` unchanged,
+    which is what keeps single-crawler storage layouts byte-identical to
+    the pre-shard format.
+    """
+    if namespace is None:
+        return key
+    if "/" in namespace:
+        raise ValueError(f"namespace {namespace!r} must not contain '/'")
+    return f"{namespace}/{key}"
+
+
 class CollectionJournal:
     """Mirrors crawl outcomes into a storage backend.
 
@@ -131,6 +148,9 @@ class CrawlCheckpointer:
             checkpointer accepts when this much time has passed.
         spec_hash: When given, stamped into every checkpoint so a resume can
             refuse state written by a different experiment spec.
+        namespace: Optional state-key namespace (see
+            :func:`namespaced_state_key`); a sharded run gives each shard
+            its own so per-shard checkpoints never collide.
     """
 
     def __init__(
@@ -138,12 +158,14 @@ class CrawlCheckpointer:
         backend: StorageBackend,
         every_days: float,
         spec_hash: Optional[str] = None,
+        namespace: Optional[str] = None,
     ) -> None:
         if every_days <= 0:
             raise ValueError("every_days must be positive")
         self.backend = backend
         self.every_days = every_days
         self.spec_hash = spec_hash
+        self._state_key = namespaced_state_key(namespace, CHECKPOINT_STATE_KEY)
         self.saves = 0
         self._last_saved: Optional[float] = None
         #: Optional test/observer hook called with each saved state dict.
@@ -167,7 +189,7 @@ class CrawlCheckpointer:
         """
         if self.spec_hash is not None:
             state["spec_hash"] = self.spec_hash
-        self.backend.save_state(CHECKPOINT_STATE_KEY, state)
+        self.backend.save_state(self._state_key, state)
         self.backend.flush()
         self._last_saved = at
         self.saves += 1
@@ -176,7 +198,7 @@ class CrawlCheckpointer:
 
     def load(self) -> Optional[dict]:
         """The most recent checkpoint, or ``None`` when none was saved."""
-        state = self.backend.load_state(CHECKPOINT_STATE_KEY)
+        state = self.backend.load_state(self._state_key)
         if state is None:
             return None
         if self.spec_hash is not None:

@@ -135,6 +135,47 @@ class TestCommands:
         assert main(["run-spec", str(path)]) == 2
         assert "bogus" in capsys.readouterr().err
 
+    def test_run_matrix_crawl_sweep(self, tmp_path, capsys):
+        matrix = {
+            "name": "test/sweep",
+            "base": {
+                "name": "cell", "kind": "crawl",
+                "web": {"site_scale": 0.03, "pages_per_site": 10,
+                        "horizon_days": 30.0, "seed": 3},
+                "crawler": {"kind": "incremental", "collection_capacity": 25,
+                            "crawl_budget_per_day": 80.0, "duration_days": 3.0},
+            },
+            "axes": {"crawler.crawl_budget_per_day": [60.0, 120.0]},
+        }
+        path = tmp_path / "matrix.json"
+        path.write_text(json.dumps(matrix))
+        out = tmp_path / "result.json"
+        assert main(["run-matrix", str(path), "--out", str(out)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "test/sweep"
+        assert len(payload["cells"]) == 2
+        budgets = [60.0, 120.0]
+        for cell, budget in zip(payload["cells"], budgets):
+            assert f"crawl_budget_per_day={budget}" in cell["name"]
+            assert cell["summary"]["pages_crawled"] > 0
+        assert json.loads(out.read_text()) == payload
+
+    def test_run_matrix_invalid_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"axes": {"params.x": [1]}}))
+        assert main(["run-matrix", str(path)]) == 2
+        assert "base" in capsys.readouterr().err
+
+    def test_run_matrix_bad_axis_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad_axis.json"
+        path.write_text(json.dumps({
+            "base": {"name": "x", "kind": "scenario", "scenario": "table2",
+                     "params": {"simulate": False}},
+            "axes": {"bogus.path": [1, 2]},
+        }))
+        assert main(["run-matrix", str(path)]) == 2
+        assert "bogus" in capsys.readouterr().err
+
     def test_every_subcommand_smokes(self, capsys, tmp_path):
         """Each subcommand exits 0 and prints something on a tiny web."""
         spec_path = tmp_path / "spec.json"

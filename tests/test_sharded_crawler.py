@@ -1,0 +1,262 @@
+"""Sharded-crawler guarantees: single-shard bit-identity, N-shard determinism.
+
+The determinism contract under test:
+
+* ``shards=1`` (inline, no processes) is bit-identical to the plain
+  batched :class:`~repro.core.incremental_crawler.IncrementalCrawler` —
+  series, counters, estimator snapshot and per-record fetch timestamps.
+* For fixed ``(web, config, shards)`` the merged result is reproducible
+  regardless of the worker count: worker scheduling must never leak into
+  results.
+* The same holds through the spec layer (``engine="sharded"``) and the
+  parallel matrix runner (``run_matrix(workers=N)`` equals serial).
+"""
+
+import pytest
+
+from repro.api.runner import ScenarioMatrix, run, run_matrix
+from repro.api.specs import CrawlerSpec, ExperimentSpec, WebSpec
+from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
+from repro.core.sharded_crawler import ShardedCrawler
+from repro.simweb.generator import WebGeneratorConfig, generate_web
+from repro.storage.records import record_to_dict
+
+
+@pytest.fixture(scope="module")
+def shard_web():
+    return generate_web(
+        WebGeneratorConfig(
+            site_counts={"com": 8, "edu": 4, "gov": 3, "net": 3},
+            pages_per_site=12,
+            horizon_days=30.0,
+            seed=31,
+        )
+    )
+
+
+def _config(**overrides):
+    defaults = dict(
+        collection_capacity=120,
+        crawl_budget_per_day=400.0,
+        ranking_interval_days=2.0,
+        reallocation_interval_days=1.0,
+        measurement_interval_days=1.0,
+        track_quality=True,
+        use_politeness=True,
+        engine="batched",
+    )
+    defaults.update(overrides)
+    return IncrementalCrawlerConfig(**defaults)
+
+
+def _fingerprint(result):
+    """Everything the determinism contract covers, comparable with ==."""
+    return {
+        "times": list(result.freshness.times),
+        "freshness": list(result.freshness.freshness),
+        "age": list(result.freshness.age),
+        "quality": list(result.quality),
+        "quality_times": list(result.quality_times),
+        "pages_crawled": result.pages_crawled,
+        "pages_failed": result.pages_failed,
+        "changes_detected": result.changes_detected,
+        "pages_replaced": result.pages_replaced,
+        "records": result.records,
+        "estimator_state": result.estimator_state,
+        "per_shard": result.per_shard,
+    }
+
+
+class TestSingleShardBitIdentity:
+    def test_matches_plain_batched_crawler(self, shard_web):
+        plain = IncrementalCrawler(shard_web, _config())
+        plain_result = plain.run(6.0)
+
+        sharded = ShardedCrawler(shard_web, _config(), shards=1, workers=1)
+        merged = sharded.run(6.0)
+
+        assert list(merged.freshness.times) == list(plain_result.freshness.times)
+        assert list(merged.freshness.freshness) == list(
+            plain_result.freshness.freshness
+        )
+        assert list(merged.freshness.age) == list(plain_result.freshness.age)
+        assert merged.quality == plain_result.quality
+        assert merged.quality_times == plain_result.quality_times
+        assert merged.pages_crawled == plain_result.pages_crawled
+        assert merged.pages_failed == plain_result.pages_failed
+        assert merged.changes_detected == plain_result.changes_detected
+        assert merged.pages_replaced == plain_result.pages_replaced
+        # Per-record fetch timestamps (and every other stored field).
+        assert merged.records == [
+            record_to_dict(record)
+            for record in plain.collection.working_records()
+        ]
+        assert merged.estimator_state == plain.update_module.snapshot()
+        assert merged.shards == 1
+
+    def test_single_shard_streams_windows(self, shard_web):
+        sharded = ShardedCrawler(shard_web, _config(), shards=1)
+        windows = []
+        sharded.on_window = lambda shard, at, fresh, quality: windows.append(
+            (shard, at)
+        )
+        result = sharded.run(4.0)
+        assert [at for _, at in windows] == list(result.freshness.times)
+        assert all(shard == 0 for shard, _ in windows)
+
+
+class TestMultiShardDeterminism:
+    def test_worker_count_never_changes_results(self, shard_web):
+        serial = ShardedCrawler(shard_web, _config(), shards=2, workers=1).run(5.0)
+        parallel = ShardedCrawler(shard_web, _config(), shards=2, workers=2).run(5.0)
+        assert _fingerprint(serial) == _fingerprint(parallel)
+        assert serial.shards == 2
+
+    def test_merge_shape(self, shard_web):
+        result = ShardedCrawler(shard_web, _config(), shards=2, workers=2).run(5.0)
+        assert len(result.per_shard) == 2
+        assert [row["shard"] for row in result.per_shard] == [0, 1]
+        assert sum(row["capacity"] for row in result.per_shard) == 120
+        assert result.pages_crawled == sum(
+            row["pages_crawled"] for row in result.per_shard
+        )
+        assert all(0.0 <= f <= 1.0 for f in result.freshness.freshness)
+        assert all(0.0 <= q <= 1.0 for q in result.quality)
+        # The merged estimator document keeps every shard's estimator
+        # verbatim instead of fabricating a blended history.
+        assert len(result.estimator_state["shards"]) == 2
+
+    def test_rejects_non_batched_engine(self, shard_web):
+        with pytest.raises(ValueError, match="batched"):
+            ShardedCrawler(shard_web, _config(engine="reference"), shards=2)
+
+
+class TestShardedSpecLayer:
+    WEB = WebSpec(
+        site_counts={"com": 8, "edu": 4, "gov": 3, "net": 3},
+        pages_per_site=12,
+        horizon_days=30.0,
+        seed=31,
+    )
+
+    def _spec(self, engine="batched", **crawler_overrides):
+        crawler = CrawlerSpec(
+            kind="incremental",
+            collection_capacity=120,
+            crawl_budget_per_day=400.0,
+            duration_days=5.0,
+            use_politeness=True,
+            engine=engine,
+            **crawler_overrides,
+        )
+        return ExperimentSpec(
+            name=f"sharded-spec/{engine}", kind="crawl", web=self.WEB,
+            crawler=crawler,
+        )
+
+    def test_shards_1_matches_batched_spec(self, shard_web):
+        plain = run(self._spec(engine="batched"), web=shard_web)
+        sharded = run(
+            self._spec(engine="sharded", shards=1, workers=1), web=shard_web
+        )
+        assert sharded.series == plain.series
+        for key in ("pages_crawled", "mean_freshness", "final_quality",
+                    "changes_detected", "collection_size"):
+            assert sharded.summary[key] == plain.summary[key]
+        assert sharded.summary["shards"] == 1
+        assert sharded.summary["workers"] == 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="sharded"):
+            CrawlerSpec(kind="periodic", engine="sharded")
+        with pytest.raises(ValueError, match="shards"):
+            CrawlerSpec(kind="incremental", engine="batched", shards=2)
+        with pytest.raises(ValueError, match="workers"):
+            CrawlerSpec(kind="incremental", engine="sharded", workers=0)
+
+    def test_shards_do_not_perturb_spec_hash_of_plain_specs(self):
+        # shards/workers are omitted-when-None: pre-shard specs keep their
+        # exact hashes, so stored results stay resumable.
+        assert (
+            self._spec(engine="batched").spec_hash()
+            == ExperimentSpec(
+                name="sharded-spec/batched", kind="crawl", web=self.WEB,
+                crawler=CrawlerSpec(
+                    kind="incremental", collection_capacity=120,
+                    crawl_budget_per_day=400.0, duration_days=5.0,
+                    use_politeness=True, engine="batched",
+                ),
+            ).spec_hash()
+        )
+
+
+class TestShardedResume:
+    def test_completed_run_short_circuits_per_shard(self, shard_web, tmp_path):
+        store = str(tmp_path / "sharded.sqlite")
+        crawler_kwargs = dict(
+            shards=2,
+            workers=2,
+            storage="sqlite",
+            store_path=store,
+            checkpoint_every=1.0,
+            spec_hash="f" * 64,
+        )
+        first = ShardedCrawler(shard_web, _config(), **crawler_kwargs).run(4.0)
+        # Every shard persisted its result; a resume replays it from the
+        # store without crawling (and without worker processes diverging).
+        resumed = ShardedCrawler(shard_web, _config(), **crawler_kwargs).run(
+            4.0, resume=True
+        )
+        assert _fingerprint(first) == _fingerprint(resumed)
+
+    def test_resume_requires_persistence(self, shard_web):
+        with pytest.raises(ValueError, match="resume"):
+            ShardedCrawler(shard_web, _config(), shards=2).run(3.0, resume=True)
+
+
+class TestParallelMatrix:
+    def test_parallel_equals_serial(self):
+        base = ExperimentSpec(
+            name="matrix-parity",
+            kind="crawl",
+            web=WebSpec(
+                site_counts={"com": 6, "edu": 3},
+                pages_per_site=10,
+                horizon_days=20.0,
+                seed=13,
+            ),
+            crawler=CrawlerSpec(
+                kind="incremental",
+                collection_capacity=50,
+                crawl_budget_per_day=150.0,
+                duration_days=3.0,
+            ),
+        )
+        matrix = ScenarioMatrix(
+            base=base,
+            axes={"crawler.crawl_budget_per_day": [100.0, 200.0]},
+        )
+        serial = run_matrix(matrix)
+        streamed = []
+        parallel = run_matrix(
+            matrix, workers=2, on_cell=lambda i, r: streamed.append(i)
+        )
+        assert streamed == [0, 1]
+        assert len(serial.cells) == len(parallel.cells) == 2
+        for ours, theirs in zip(serial.cells, parallel.cells):
+            assert ours.series == theirs.series
+            assert ours.summary == theirs.summary
+            assert ours.tables == theirs.tables
+            assert ours.spec_hash == theirs.spec_hash
+            assert theirs.artifacts == {}
+
+    def test_rejects_zero_workers(self):
+        matrix = ScenarioMatrix(
+            base=ExperimentSpec(
+                name="x", kind="scenario", scenario="table2",
+                params={"simulate": False},
+            ),
+            axes={"params.n_pages": [50]},
+        )
+        with pytest.raises(ValueError, match="workers"):
+            run_matrix(matrix, workers=0)

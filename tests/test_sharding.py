@@ -1,0 +1,269 @@
+"""Sharding primitives: partitioner properties, shard views, shared webs.
+
+The crawler-level guarantees (``shards=1`` bit-identity, N-shard
+determinism) live in ``test_sharded_crawler.py``; this module pins the
+building blocks they rest on — the deterministic site partitioner, the
+shard-view split arithmetic, queue partitioning, snapshot merging, state
+key namespacing and the shared-memory web round trip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collurls import CollUrls
+from repro.core.sharding import ShardView, SitePartitioner, _largest_remainder_split
+from repro.core.update_module import UpdateModule
+from repro.simweb.generator import WebGeneratorConfig, generate_web
+from repro.simweb.shared import SharedWeb
+from repro.storage.checkpoint import (
+    CHECKPOINT_STATE_KEY,
+    RESULT_STATE_KEY,
+    namespaced_state_key,
+)
+
+site_ids = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-", min_size=1, max_size=30
+)
+shard_counts = st.integers(min_value=1, max_value=16)
+
+
+@pytest.fixture(scope="module")
+def tiny_web():
+    return generate_web(
+        WebGeneratorConfig(
+            site_counts={"com": 6, "edu": 3, "gov": 2, "net": 2},
+            pages_per_site=10,
+            horizon_days=30.0,
+            seed=23,
+        )
+    )
+
+
+class TestSitePartitioner:
+    @given(site_id=site_ids, n=shard_counts)
+    def test_total(self, site_id, n):
+        assert 0 <= SitePartitioner(n).shard_of(site_id) < n
+
+    @given(site_id=site_ids, n=shard_counts)
+    def test_deterministic(self, site_id, n):
+        partitioner = SitePartitioner(n)
+        first = partitioner.shard_of(site_id)
+        assert all(partitioner.shard_of(site_id) == first for _ in range(3))
+        # A fresh partitioner instance agrees too — the mapping is a pure
+        # function of the site id, never of interpreter or instance state.
+        assert SitePartitioner(n).shard_of(site_id) == first
+
+    @given(ids=st.lists(site_ids, min_size=1, max_size=20), n=shard_counts)
+    def test_insertion_order_independent(self, ids, n):
+        partitioner = SitePartitioner(n)
+        forward = partitioner.assign(ids)
+        backward = partitioner.assign(list(reversed(ids)))
+        assert forward == backward
+
+    @given(site_id=site_ids)
+    def test_single_shard_owns_everything(self, site_id):
+        assert SitePartitioner(1).shard_of(site_id) == 0
+
+    def test_site_affinity_through_views(self, tiny_web):
+        # URLs are never partitioned directly — ownership flows through the
+        # owning site, so every page of a site lands on one shard.
+        views = ShardView.split(tiny_web, 3, capacity=60, budget_per_day=90.0)
+        owner = {}
+        for view in views:
+            for site_id in view.site_ids:
+                assert site_id not in owner
+                owner[site_id] = view.index
+        for page in tiny_web.pages():
+            assert owner[page.site_id] == owner[page.site_id]  # total
+        for view in views:
+            for url in view.seed_urls:
+                assert view.owns_site(tiny_web.page(url).site_id)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            SitePartitioner(0)
+
+
+class TestLargestRemainderSplit:
+    @given(
+        total=st.integers(min_value=1, max_value=10_000),
+        weights=st.lists(
+            st.integers(min_value=1, max_value=500), min_size=1, max_size=8
+        ),
+    )
+    def test_sums_and_minimum(self, total, weights):
+        if total < len(weights):
+            total = len(weights)
+        shares = _largest_remainder_split(total, weights, minimum=1)
+        assert sum(shares) == total
+        assert all(share >= 1 for share in shares)
+
+    def test_proportionality(self):
+        assert _largest_remainder_split(100, [3, 1]) == [75, 25]
+
+
+class TestShardViewSplit:
+    def test_partition_covers_web_disjointly(self, tiny_web):
+        all_sites = [site.site_id for site in tiny_web.sites]
+        for n in (1, 2, 4):
+            views = ShardView.split(
+                tiny_web, n, capacity=40, budget_per_day=120.0
+            )
+            seen = [s for view in views for s in view.site_ids]
+            assert sorted(seen) == sorted(all_sites)
+            assert len(set(seen)) == len(seen)
+            assert sum(view.capacity for view in views) == 40
+            assert sum(view.budget_per_day for view in views) == pytest.approx(120.0)
+
+    def test_single_shard_is_total(self, tiny_web):
+        (view,) = ShardView.split(tiny_web, 1, capacity=40, budget_per_day=50.0)
+        assert view.is_total
+        assert view.capacity == 40 and view.budget_per_day == 50.0
+        assert list(view.seed_urls) == tiny_web.seed_urls()
+
+    def test_seed_routing(self, tiny_web):
+        views = ShardView.split(tiny_web, 4, capacity=40, budget_per_day=120.0)
+        routed = [url for view in views for url in view.seed_urls]
+        assert sorted(routed) == sorted(tiny_web.seed_urls())
+
+
+class TestCollUrlsPartition:
+    def test_entries_and_counters_preserved(self):
+        queue = CollUrls()
+        urls = [f"http://s{i % 3}.com/p{i}" for i in range(12)]
+        for i, url in enumerate(urls):
+            queue.schedule(url, float(i % 5))
+        queue.schedule_front("http://s0.com/front", 0.0)
+
+        owner_of = lambda url: (0 if "s0" in url else 1)
+        parts = queue.partition(owner_of, 2)
+
+        assert len(queue) == 13  # source untouched
+        assert len(parts[0]) + len(parts[1]) == 13
+        for index, part in enumerate(parts):
+            for url in part.urls():
+                assert owner_of(url) == index
+                # Exact (time, sequence) keys survive the split.
+                assert part.entry_for(url) == queue.entry_for(url)
+        # Popping a partition yields its entries in original relative order.
+        drained = [part.pop()[0] for part in parts for _ in range(len(part))]
+        assert sorted(drained) == sorted(queue.urls())
+
+    def test_counters_inherited(self):
+        queue = CollUrls()
+        queue.schedule("http://a.com/", 1.0)
+        parts = queue.partition(lambda url: 0, 1)
+        parts[0].schedule("http://b.com/", 1.0)
+        # The new entry's sequence continues the parent's space: it cannot
+        # collide with (or sort before) the preserved entry at equal time.
+        assert parts[0].pop()[0] == "http://a.com/"
+        assert parts[0].pop()[0] == "http://b.com/"
+
+    def test_rejects_out_of_range_owner(self):
+        queue = CollUrls()
+        queue.schedule("http://a.com/", 1.0)
+        with pytest.raises(ValueError):
+            queue.partition(lambda url: 2, 2)
+
+
+class TestMergeSnapshots:
+    @staticmethod
+    def _snapshot(urls, importance, processed=5):
+        return {
+            "histories": {url: {"events": []} for url in urls},
+            "rate_estimates": {url: 0.5 for url in urls},
+            "intervals": {url: 2.0 for url in urls},
+            "importance": dict(importance),
+            "last_reallocation": float(processed),
+            "estimator": {"kind": "stub", "id": processed},
+            "pages_processed": processed,
+            "changes_detected": processed // 2,
+        }
+
+    def test_single_snapshot_verbatim(self):
+        snap = self._snapshot(["http://a.com/"], {"http://a.com/": 1.0})
+        assert UpdateModule.merge_snapshots([snap]) is snap
+
+    def test_disjoint_union_and_counter_sums(self):
+        a = self._snapshot(["http://a.com/"], {"http://a.com/": 1.0}, processed=4)
+        b = self._snapshot(["http://b.com/"], {"http://b.com/": 2.0}, processed=6)
+        merged = UpdateModule.merge_snapshots([a, b])
+        assert set(merged["histories"]) == {"http://a.com/", "http://b.com/"}
+        assert merged["pages_processed"] == 10
+        assert merged["changes_detected"] == 5
+        assert merged["last_reallocation"] == 6.0
+        assert merged["shards"] == [a["estimator"], b["estimator"]]
+        assert merged["estimator"] is None
+
+    def test_crawled_state_collision_rejected(self):
+        a = self._snapshot(["http://a.com/"], {})
+        b = self._snapshot(["http://a.com/"], {})
+        with pytest.raises(ValueError, match="disjoint"):
+            UpdateModule.merge_snapshots([a, b])
+
+    def test_importance_collision_first_wins(self):
+        # Importance is derived from the link graph, which scores foreign
+        # link targets — the same URL can carry a score in several shards.
+        a = self._snapshot(["http://a.com/"], {"http://x.com/": 1.0})
+        b = self._snapshot(["http://b.com/"], {"http://x.com/": 9.0})
+        merged = UpdateModule.merge_snapshots([a, b])
+        assert merged["importance"]["http://x.com/"] == 1.0
+
+
+class TestNamespacedStateKeys:
+    def test_passthrough_without_namespace(self):
+        assert namespaced_state_key(None, CHECKPOINT_STATE_KEY) == "checkpoint"
+        assert namespaced_state_key(None, RESULT_STATE_KEY) == "result"
+
+    def test_qualified(self):
+        assert namespaced_state_key("shard03", "checkpoint") == "shard03/checkpoint"
+
+    def test_rejects_separator_in_namespace(self):
+        with pytest.raises(ValueError):
+            namespaced_state_key("a/b", "checkpoint")
+
+
+class TestSharedWeb:
+    def test_round_trip_bit_identical(self, tiny_web):
+        oracle = tiny_web.oracle_arrays()
+        with SharedWeb(tiny_web) as shared:
+            rebuilt = shared.payload.materialise()
+            assert rebuilt.urls() == tiny_web.urls()
+            assert [s.site_id for s in rebuilt.sites] == [
+                s.site_id for s in tiny_web.sites
+            ]
+            other = rebuilt.oracle_arrays()
+            np.testing.assert_array_equal(other.flat, oracle.flat)
+            np.testing.assert_array_equal(other.offsets, oracle.offsets)
+            np.testing.assert_array_equal(other.created, oracle.created)
+            # Zero copy: the worker-side event array is a view over the
+            # shared block, not a private copy.
+            assert other.flat.base is not None
+            all_urls = list(tiny_web.urls())
+            for at in (0.0, 7.5, 29.0):
+                np.testing.assert_array_equal(
+                    rebuilt.versions_at(all_urls, at),
+                    tiny_web.versions_at(all_urls, at),
+                )
+                np.testing.assert_array_equal(
+                    rebuilt.exists_mask(all_urls, at),
+                    tiny_web.exists_mask(all_urls, at),
+                )
+            for url in list(tiny_web.urls())[:25]:
+                original = tiny_web.page(url)
+                copy = rebuilt.page(url)
+                assert copy.outlinks == original.outlinks
+                assert copy.created_at == original.created_at
+                assert copy.lifespan == original.lifespan
+                assert copy.content_for_version(1) == original.content_for_version(1)
+
+    def test_payload_is_small(self, tiny_web):
+        import pickle
+
+        with SharedWeb(tiny_web) as shared:
+            payload = pickle.dumps(shared.payload)
+            # The bulk (change-time events) stays in shared memory; the
+            # picklable part is string tables and manifests only.
+            assert len(payload) < 64 * 1024
