@@ -20,6 +20,19 @@ with it via PDEATHSIG), and the resume must replay completed shards from
 their stored results, resume interrupted ones from their namespaced
 checkpoints, and merge to the uninterrupted run's exact result.
 
+Two failure-injection phases then harden the story further:
+
+* **corrupted checkpoint** — a run is killed after its *second*
+  checkpoint, the latest checkpoint's stored bytes are flipped, and the
+  resume must detect the damage via the integrity checksum, fall back to
+  the demoted previous snapshot, and still reproduce the uninterrupted
+  result exactly;
+* **worker SIGKILL** — a sharded run loses one of its *worker
+  processes* (not the coordinator) to SIGKILL mid-crawl; the coordinator
+  must detect the silent death, re-run the shard from its store, and
+  finish with the uninterrupted run's exact result — no resume
+  invocation involved.
+
 Run from the repository root:
 
     PYTHONPATH=src python scripts/kill_resume_smoke.py
@@ -215,6 +228,8 @@ def main() -> int:
     )
 
     sharded_phase(tmp)
+    corrupted_checkpoint_phase(tmp, out_a)
+    worker_kill_phase(tmp)
     return 0
 
 
@@ -315,6 +330,184 @@ def sharded_phase(tmp: str) -> None:
         f"PASS: resumed sharded run is bit-identical to the uninterrupted "
         f"run ({len(rows_c)} records across {n_shards} shard stores, mean "
         f"freshness {c['summary']['mean_freshness']:.4f})"
+    )
+
+
+def corrupt_state_value(store: str, key: str) -> None:
+    """Flip one byte in the middle of a stored state document."""
+    conn = sqlite3.connect(store)
+    try:
+        row = conn.execute(
+            "SELECT value FROM state WHERE key = ?", (key,)
+        ).fetchone()
+        assert row is not None, f"no state row {key!r} to corrupt"
+        value = row[0]
+        mid = len(value) // 2
+        flipped = value[:mid] + ("0" if value[mid] != "0" else "1") + value[mid + 1:]
+        assert flipped != value
+        conn.execute("UPDATE state SET value = ? WHERE key = ?", (flipped, key))
+        conn.commit()
+    finally:
+        conn.close()
+
+
+def corrupted_checkpoint_phase(tmp: str, out_reference: str) -> None:
+    """Corrupt the latest checkpoint; the resume must use the previous one.
+
+    The run is killed only after ``checkpoint_prev`` exists (the second
+    save demotes the first), then the *current* checkpoint's stored bytes
+    are flipped. The integrity checksum must catch the damage and the
+    resume fall back to the previous snapshot — bit-identical to having
+    crashed one checkpoint earlier, hence to the uninterrupted run.
+    """
+    spec_path = os.path.join(tmp, "spec.json")  # written by main()
+    store = os.path.join(tmp, "corrupted.sqlite")
+    out = os.path.join(tmp, "corrupted.json")
+
+    print("[corrupt 1/3] run to the second checkpoint, then SIGKILL ...")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run-spec", spec_path,
+         "--store", store, "--out", out, "--compact"],
+        cwd=REPO,
+        env=cli_env(),
+        stdout=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + KILL_TIMEOUT_SECONDS
+    killed = False
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                "FAIL: the run finished before its second checkpoint could "
+                "be observed; enlarge the spec so the kill window exists"
+            )
+        keys = state_keys(store)
+        if "result" in keys:
+            raise SystemExit("FAIL: result row appeared before the kill")
+        if "checkpoint_prev" in keys:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+            killed = True
+            break
+        time.sleep(POLL_SECONDS)
+    if not killed:
+        proc.kill()
+        proc.wait()
+        raise SystemExit("FAIL: no second checkpoint observed before the timeout")
+
+    print("[corrupt 2/3] flip a byte inside the latest checkpoint ...")
+    corrupt_state_value(store, "checkpoint")
+
+    print("[corrupt 3/3] resume; must fall back to the previous snapshot ...")
+    run_spec(spec_path, "--store", store, "--resume", "--out", out, "--compact")
+
+    a = result_doc(out_reference)
+    b = result_doc(out)
+    for key in ("name", "kind", "summary", "series"):
+        if a[key] != b[key]:
+            raise SystemExit(
+                "FAIL: resume after checkpoint corruption differs from the "
+                f"uninterrupted run in {key!r}"
+            )
+    print(
+        "PASS: corrupted checkpoint detected, previous snapshot resumed "
+        f"bit-identically (mean freshness {b['summary']['mean_freshness']:.4f})"
+    )
+
+
+def worker_pids(coordinator_pid: int) -> list:
+    """PIDs of spawn worker children of ``coordinator_pid`` (no trackers)."""
+    pids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat", "rb") as handle:
+                stat = handle.read()
+            with open(f"/proc/{entry}/cmdline", "rb") as handle:
+                cmdline = handle.read()
+        except OSError:
+            continue
+        # stat: pid (comm) state ppid ... — comm may contain spaces.
+        ppid = int(stat[stat.rindex(b")") + 2:].split()[1])
+        if ppid == coordinator_pid and b"spawn_main" in cmdline:
+            pids.append(int(entry))
+    return pids
+
+
+def worker_kill_phase(tmp: str) -> None:
+    """SIGKILL one shard *worker*; the coordinator must recover in-flight.
+
+    Unlike the coordinator-kill phase there is no resume invocation: the
+    coordinator notices the silently dead worker, re-runs its shard from
+    the shard store (checkpoint or start-over), and the merged result must
+    still equal the uninterrupted sharded run bit for bit.
+    """
+    n_shards = SHARDED_SPEC["crawler"]["shards"]
+    spec_path = os.path.join(tmp, "sharded_spec.json")  # written by sharded_phase
+    out_reference = os.path.join(tmp, "c.json")
+    store = os.path.join(tmp, "worker_killed.sqlite")
+    out = os.path.join(tmp, "worker_killed.json")
+
+    print("[worker-kill 1/2] sharded run; SIGKILL one worker mid-crawl ...")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run-spec", spec_path,
+         "--store", store, "--out", out, "--compact"],
+        cwd=REPO,
+        env=cli_env(),
+        stdout=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + KILL_TIMEOUT_SECONDS
+    victim = None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                "FAIL: the sharded run finished before a worker could be "
+                "killed; enlarge the spec so the kill window exists"
+            )
+        if any_shard_checkpoint(store, n_shards):
+            for pid in worker_pids(proc.pid):
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    continue
+                victim = pid
+                break
+            if victim is not None:
+                break
+        time.sleep(POLL_SECONDS)
+    if victim is None:
+        proc.kill()
+        proc.wait()
+        raise SystemExit("FAIL: no worker process found to kill before the timeout")
+    print(f"      killed worker pid {victim}; waiting for the coordinator ...")
+
+    returncode = proc.wait()
+    if returncode != 0:
+        raise SystemExit(
+            f"FAIL: coordinator exited with {returncode} instead of "
+            "recovering the killed worker"
+        )
+
+    print("[worker-kill 2/2] compare against the uninterrupted sharded run ...")
+    c = result_doc(out_reference)
+    d = result_doc(out)
+    for key in ("name", "kind", "summary", "series"):
+        if c[key] != d[key]:
+            raise SystemExit(
+                "FAIL: worker-kill recovery differs from the uninterrupted "
+                f"sharded run in {key!r}"
+            )
+    rows_c = shard_records(os.path.join(tmp, "sharded_uninterrupted.sqlite"), n_shards)
+    rows_d = shard_records(store, n_shards)
+    if rows_c != rows_d:
+        raise SystemExit(
+            "FAIL: the sharded stores hold different records after worker-kill "
+            f"recovery ({len(rows_c)} vs {len(rows_d)} rows)"
+        )
+    print(
+        "PASS: coordinator recovered the SIGKILLed worker bit-identically "
+        f"({len(rows_d)} records, mean freshness "
+        f"{d['summary']['mean_freshness']:.4f})"
     )
 
 

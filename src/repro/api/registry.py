@@ -142,9 +142,13 @@ SCENARIOS = Registry("scenario")
 #: Collection storage backends: name -> StorageBackend factory
 #: (see repro.storage.backends).
 STORAGE_BACKENDS = Registry("storage backend")
+#: Fault models for deterministic fault injection: name -> FaultModel factory
+#: (see repro.faults).
+FAULT_MODELS = Registry("fault model")
 
 register_revisit_policy = REVISIT_POLICIES.register
 register_estimator = ESTIMATORS.register
 register_change_model = CHANGE_MODELS.register
 register_scenario = SCENARIOS.register
 register_storage_backend = STORAGE_BACKENDS.register
+register_fault_model = FAULT_MODELS.register

@@ -306,6 +306,15 @@ def _incremental_config(
         politeness_night_start=crawler_spec.politeness_night_start,
         politeness_night_duration=crawler_spec.politeness_night_duration,
         engine=engine,
+        fault_models=(
+            None if crawler_spec.faults is None
+            else crawler_spec.faults.to_model_tuples()
+        ),
+        fault_seed=0 if crawler_spec.faults is None else crawler_spec.faults.seed,
+        retry=(
+            None if crawler_spec.retry is None
+            else crawler_spec.retry.to_retry_policy()
+        ),
     )
 
 
@@ -359,6 +368,8 @@ def _run_sharded_crawl(
         "shards": outcome.shards,
         "workers": outcome.workers,
     }
+    if outcome.failures is not None:
+        summary["failures"] = dict(outcome.failures)
     tables = {"per_shard": outcome.per_shard}
     artifacts = {"web": web, "crawler": crawler, "outcome": outcome}
     return series, summary, tables, artifacts
@@ -447,6 +458,9 @@ def _run_crawl(
         summary["pages_failed"] = outcome.pages_failed
         summary["changes_detected"] = outcome.changes_detected
         summary["pages_replaced"] = outcome.pages_replaced
+        failures = crawler.failure_counters()
+        if failures is not None:
+            summary["failures"] = failures
     else:
         summary["cycles_completed"] = outcome.cycles_completed
     artifacts = {"web": web, "crawler": crawler, "outcome": outcome}

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.api.registry import REVISIT_POLICIES, register_scenario
+from repro.api.registry import ESTIMATORS, REVISIT_POLICIES, register_scenario
 from repro.core.incremental_crawler import IncrementalCrawler, IncrementalCrawlerConfig
+from repro.faults import RetryPolicy
 from repro.freshness.analytic import freshness_trajectory, time_averaged_freshness
 from repro.freshness.analytic import (
     batch_inplace_freshness_at,
@@ -294,6 +295,130 @@ def polite_crawl(
                 "impolite": impolite.changes_detected,
                 "polite": polite.changes_detected,
             },
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
+# Fault regimes: which policies/estimators degrade under failures
+# --------------------------------------------------------------------- #
+#: Default fault regimes of the ``chaos-crawl`` scenario, each a stack of
+#: ``(kind, params)`` fault models (see :data:`repro.api.registry.FAULT_MODELS`).
+DEFAULT_CHAOS_REGIMES: Dict[str, List] = {
+    "transient": [("transient", {"rate": 0.1})],
+    "outages": [
+        ("site_outage", {"rate": 0.3, "period_days": 5.0, "duration_days": 1.0})
+    ],
+    "rate_limited": [("rate_limit", {"rate": 0.1, "retry_after_days": 0.5})],
+    "soft_404": [("soft_404", {"rate": 0.08, "flap_period_days": 3.0})],
+}
+
+
+@register_scenario("chaos-crawl")
+def chaos_crawl(
+    site_scale: float = 0.03,
+    pages_per_site: int = 10,
+    duration_days: float = 15.0,
+    collection_capacity: int = 80,
+    crawl_budget_per_day: float = 300.0,
+    policies: Sequence[str] = ("uniform", "optimal"),
+    estimators: Sequence[str] = ("ep", "eb"),
+    regimes: Optional[Dict[str, Sequence]] = None,
+    fault_seed: int = 3,
+    max_attempts: int = 3,
+    seed: int = 31,
+) -> Dict[str, Any]:
+    """Incremental crawls under seeded fault regimes, per policy/estimator.
+
+    Runs every ``revisit policy x estimator`` combination once without
+    faults and once per fault regime on the same synthetic web, with the
+    failure-aware engine (retry, backoff, circuit breaker) armed for the
+    faulty runs. The result tables show which combinations degrade under
+    which failure mode — e.g. soft-404 flapping hurts change-frequency
+    estimators more than correlated site outages do.
+
+    Args:
+        site_scale: Site-count scale of the generated web.
+        pages_per_site: Mean pages per generated site.
+        duration_days: Virtual days to crawl.
+        collection_capacity: Target collection size.
+        crawl_budget_per_day: Pages fetched per virtual day.
+        policies: Registered revisit-policy names to cross.
+        estimators: Registered change-rate estimator names to cross.
+        regimes: ``name -> list of (kind, params)`` fault-model stacks;
+            defaults to :data:`DEFAULT_CHAOS_REGIMES`.
+        fault_seed: Seed of the fault layer and retry jitter.
+        max_attempts: Retry attempts per URL in the faulty runs.
+        seed: Web-generation seed.
+    """
+    for name in policies:
+        REVISIT_POLICIES.validate(name)
+    for name in estimators:
+        ESTIMATORS.validate(name)
+    if regimes is None:
+        regimes = DEFAULT_CHAOS_REGIMES
+    regime_models = {
+        str(name): tuple((str(kind), dict(params)) for kind, params in models)
+        for name, models in regimes.items()
+    }
+    web_config = WebGeneratorConfig(
+        site_scale=site_scale,
+        pages_per_site=pages_per_site,
+        horizon_days=duration_days + 30.0,
+        seed=seed,
+    )
+
+    def _run(policy: str, estimator: str, models):
+        crawler = IncrementalCrawler(
+            generate_web(web_config),
+            IncrementalCrawlerConfig(
+                collection_capacity=collection_capacity,
+                crawl_budget_per_day=crawl_budget_per_day,
+                revisit_policy=policy,
+                estimator=estimator,
+                track_quality=False,
+                fault_models=models,
+                fault_seed=fault_seed,
+                retry=RetryPolicy(max_attempts=max_attempts) if models else None,
+            ),
+        )
+        outcome = crawler.run(duration_days)
+        return outcome, crawler.failure_counters()
+
+    mean_freshness: Dict[str, Dict[str, float]] = {}
+    degradation: Dict[str, Dict[str, float]] = {}
+    failures: Dict[str, Dict[str, int]] = {}
+    for policy in policies:
+        for estimator in estimators:
+            combo = f"{policy}/{estimator}"
+            baseline, _ = _run(policy, estimator, None)
+            base = baseline.mean_freshness()
+            mean_freshness[combo] = {"none": base}
+            degradation[combo] = {}
+            for regime, models in regime_models.items():
+                outcome, counters = _run(policy, estimator, models)
+                value = outcome.mean_freshness()
+                mean_freshness[combo][regime] = value
+                degradation[combo][regime] = base - value
+                failures[f"{combo}/{regime}"] = counters
+    worst: Dict[str, Dict[str, Any]] = {}
+    for regime in regime_models:
+        combo = max(degradation, key=lambda c: degradation[c][regime])
+        worst[regime] = {
+            "combo": combo,
+            "freshness_loss": degradation[combo][regime],
+        }
+    return {
+        "summary": {
+            "duration_days": duration_days,
+            "regimes": sorted(regime_models),
+            "combos": sorted(mean_freshness),
+            "worst_degradation": worst,
+        },
+        "tables": {
+            "mean_freshness": mean_freshness,
+            "degradation": degradation,
+            "failures": failures,
         },
     }
 

@@ -32,6 +32,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
 
 from repro.api.registry import ESTIMATORS, REVISIT_POLICIES
 from repro.core.incremental_crawler import CRAWL_ENGINES
+from repro.faults import RetryPolicy
 from repro.simweb.generator import WebGeneratorConfig
 
 SpecT = TypeVar("SpecT", bound="_SpecBase")
@@ -224,6 +225,146 @@ class PolicySpec(_SpecBase):
 
 
 @dataclass(frozen=True)
+class FaultModelSpec(_SpecBase):
+    """One registered fault model plus its parameters.
+
+    Attributes:
+        kind: Registered fault-model name
+            (:data:`repro.api.registry.FAULT_MODELS` — ``"transient"``,
+            ``"site_outage"``, ``"rate_limit"``, ``"soft_404"`` or
+            ``"latency"`` out of the box).
+        params: Keyword arguments for the model factory. Unknown parameter
+            names and invalid values are rejected on construction.
+    """
+
+    kind: str = "transient"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Fault models register on import of repro.faults; import lazily to
+        # keep specs importable from domain modules.
+        import inspect
+
+        from repro.api.registry import FAULT_MODELS
+        import repro.faults  # noqa: F401  (registration side effect)
+
+        FAULT_MODELS.validate(self.kind)
+        factory = FAULT_MODELS.get(self.kind)
+        accepted = set(inspect.signature(factory).parameters)
+        unknown = sorted(set(self.params) - accepted)
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) {', '.join(map(repr, unknown))} for "
+                f"fault model {self.kind!r}; accepted: "
+                f"{', '.join(sorted(accepted))}"
+            )
+        # Instantiate once so parameter *values* are validated here, not
+        # deep inside a run.
+        factory(**dict(self.params))
+
+    def to_model_tuple(self) -> Tuple[str, Dict[str, Any]]:
+        """The ``(kind, params)`` pair consumed by ``build_fault_layer``."""
+        return (self.kind, dict(self.params))
+
+
+@dataclass(frozen=True)
+class FaultsSpec(_SpecBase):
+    """A seeded stack of fault models applied to every fetch.
+
+    Models apply in order; for status faults the first non-OK verdict wins,
+    latency models compose multiplicatively. Every model is a pure function
+    of ``(url, site, virtual_time, seed)``, so a fixed ``(spec, seed)``
+    yields bit-identical faults across engines, shard counts and resumes.
+
+    Attributes:
+        models: The fault models, in application order (at least one).
+        seed: Seed of the fault layer (also seeds retry jitter).
+    """
+
+    models: Tuple[FaultModelSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "models", tuple(self.models))
+        if not self.models:
+            raise ValueError("a faults spec needs at least one fault model")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "models": [model.to_dict() for model in self.models],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultsSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"{cls.__name__} must be built from a mapping, "
+                             f"got {type(data).__name__}")
+        unknown = sorted(set(data) - {"models", "seed"})
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.__name__} field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: models, seed"
+            )
+        models = data.get("models", ())
+        if isinstance(models, Mapping) or isinstance(models, str):
+            raise ValueError("FaultsSpec models must be a list of fault models")
+        return cls(
+            models=tuple(FaultModelSpec.from_dict(model) for model in models),
+            seed=data.get("seed", 0),
+        )
+
+    def to_model_tuples(self) -> Tuple[Tuple[str, Dict[str, Any]], ...]:
+        """The ``(kind, params)`` pairs consumed by ``build_fault_layer``."""
+        return tuple(model.to_model_tuple() for model in self.models)
+
+
+@dataclass(frozen=True)
+class RetrySpec(_SpecBase):
+    """Retry, backoff and circuit-breaker knobs for the failure-aware engine.
+
+    Mirrors :class:`repro.faults.RetryPolicy` field for field; validation is
+    delegated to the policy so the two can never drift apart.
+
+    Attributes:
+        max_attempts: Attempts per URL before the failure is terminal.
+        base_delay_days: First retry delay in virtual days.
+        multiplier: Exponential backoff factor per extra attempt.
+        jitter: Seeded jitter half-width as a fraction of the delay.
+        site_budget: Optional cap on total retries charged per site.
+        breaker_threshold: Consecutive per-site failures that trip the
+            circuit breaker.
+        breaker_probe_days: Probe spacing while a site is quarantined.
+        breaker_backoff: Probe-spacing growth per repeated trip.
+    """
+
+    max_attempts: int = 3
+    base_delay_days: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    site_budget: Optional[int] = None
+    breaker_threshold: int = 5
+    breaker_probe_days: float = 1.0
+    breaker_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        self.to_retry_policy()
+
+    def to_retry_policy(self) -> RetryPolicy:
+        """The equivalent :class:`repro.faults.RetryPolicy`."""
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_delay_days=self.base_delay_days,
+            multiplier=self.multiplier,
+            jitter=self.jitter,
+            site_budget=self.site_budget,
+            breaker_threshold=self.breaker_threshold,
+            breaker_probe_days=self.breaker_probe_days,
+            breaker_backoff=self.breaker_backoff,
+        )
+
+
+@dataclass(frozen=True)
 class CrawlerSpec(_SpecBase):
     """Declarative description of a crawler run.
 
@@ -274,6 +415,13 @@ class CrawlerSpec(_SpecBase):
         checkpoint_every: Optional virtual-day spacing between resumable
             state checkpoints. Requires ``storage`` and the batched engine;
             a killed run resumes bit-identically from its last checkpoint.
+        faults: Optional :class:`FaultsSpec` injecting seeded, deterministic
+            fetch faults (incremental only). Omitted specs hash exactly as
+            they did before the field existed, and runs without it are
+            byte-identical to the pre-fault engine.
+        retry: Optional :class:`RetrySpec` tuning retry/backoff and the
+            per-site circuit breaker (incremental only). Defaults apply
+            when ``faults`` is set without ``retry``.
     """
 
     kind: str = "incremental"
@@ -297,6 +445,8 @@ class CrawlerSpec(_SpecBase):
     workers: Optional[int] = None
     storage: Optional[str] = None
     checkpoint_every: Optional[float] = None
+    faults: Optional[FaultsSpec] = None
+    retry: Optional[RetrySpec] = None
 
     def __post_init__(self) -> None:
         if self.kind not in CRAWLER_KINDS:
@@ -357,10 +507,21 @@ class CrawlerSpec(_SpecBase):
                     "checkpoint_every requires the batched or sharded engine "
                     "(the reference engine's event queue cannot be snapshotted)"
                 )
+        if (self.faults is not None or self.retry is not None) and (
+            self.kind != "incremental"
+        ):
+            raise ValueError(
+                "fault injection is supported for incremental crawls only"
+            )
+
+    @classmethod
+    def _nested_spec_fields(cls) -> Dict[str, Type[_SpecBase]]:
+        return {"faults": FaultsSpec, "retry": RetrySpec}
 
     @classmethod
     def _omit_when_none(cls) -> Tuple[str, ...]:
-        return ("shards", "workers", "storage", "checkpoint_every")
+        return ("shards", "workers", "storage", "checkpoint_every",
+                "faults", "retry")
 
 
 @dataclass(frozen=True)

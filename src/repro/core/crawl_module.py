@@ -16,9 +16,17 @@ from typing import Callable, Dict, Optional, Sequence, Set
 import numpy as np
 
 from repro.core.allurls import AllUrls
-from repro.fetch.fetcher import FetchResult, SimulatedFetcher
+from repro.faults import STATUS_EXCLUDED, STATUS_NOT_FOUND
+from repro.fetch.fetcher import FetchResult, FetchStatus, SimulatedFetcher
 from repro.storage.collection import Collection
 from repro.storage.records import PageRecord
+
+#: Statuses that are *permanent* verdicts on the URL itself. Only these may
+#: reach ``AllUrls.record_failure`` (which excludes the URL from future
+#: collection candidates); transient fault statuses say nothing about the
+#: page and must not poison the discovered-URL registry.
+_TERMINAL_STATUSES = (FetchStatus.NOT_FOUND, FetchStatus.EXCLUDED)
+_TERMINAL_CODES = (STATUS_NOT_FOUND, STATUS_EXCLUDED)
 
 
 @dataclass(frozen=True)
@@ -61,6 +69,12 @@ class BatchCrawlOutcome:
     stored: Sequence[bool]
     changed: Sequence[bool]
     was_new: Sequence[bool]
+    #: Integer status code per URL (``repro.faults.STATUS_*``), or ``None``
+    #: when no fault layer is configured (``stored`` then implies OK vs
+    #: NOT_FOUND, the pre-fault behaviour).
+    statuses: Optional[Sequence[int]] = None
+    #: Retry-after hint per URL in virtual days (``None`` without faults).
+    retry_after: Optional[Sequence[float]] = None
 
 
 class CrawlModule:
@@ -112,6 +126,10 @@ class CrawlModule:
         """The fetch substrate (exposed for the batched crawl engine)."""
         return self._fetcher
 
+    def site_of(self, url: str) -> Optional[str]:
+        """The owning site id of ``url`` (for the failure-aware engine)."""
+        return self._fetcher.site_of(url)
+
     def crawl(self, url: str, at: float) -> CrawlOutcome:
         """Fetch ``url`` at virtual time ``at``, store it and forward links.
 
@@ -125,7 +143,8 @@ class CrawlModule:
         result = self._fetcher.fetch(url, at=at)
         if not result.ok:
             self.pages_failed += 1
-            self._allurls.record_failure(url, at)
+            if result.status in _TERMINAL_STATUSES:
+                self._allurls.record_failure(url, at)
             return CrawlOutcome(
                 url=url,
                 fetch=result,
@@ -221,11 +240,13 @@ class CrawlModule:
         versions = fetch.versions.tolist()
         completed = fetch.completed_at.tolist()
         requested = fetch.requested_at.tolist()
+        statuses = None if fetch.statuses is None else fetch.statuses.tolist()
         for i, (url, ok_i, version_i, completed_i, requested_i) in enumerate(
             zip(fetch.urls, ok, versions, completed, requested)
         ):
             if not ok_i:
-                allurls.record_failure(url, requested_i)
+                if statuses is None or statuses[i] in _TERMINAL_CODES:
+                    allurls.record_failure(url, requested_i)
                 was_new[i] = collection.get_working(url) is None
                 continue
             if url not in links_recorded:
@@ -294,6 +315,10 @@ class CrawlModule:
             stored=ok,
             changed=changed,
             was_new=was_new,
+            statuses=statuses,
+            retry_after=(
+                None if fetch.retry_after is None else fetch.retry_after.tolist()
+            ),
         )
 
     def discard(self, url: str) -> Optional[PageRecord]:

@@ -50,6 +50,12 @@ from repro.core.quality import CollectionQualityCache
 from repro.core.ranking_module import RankingModule, RankingModuleConfig
 from repro.core.sharding import ShardEngine, ShardView
 from repro.core.update_module import UpdateModule, UpdateModuleConfig
+from repro.faults import (
+    FailureTracker,
+    FaultLayer,
+    RetryPolicy,
+    build_fault_layer,
+)
 from repro.fetch.fetcher import SimulatedFetcher
 from repro.fetch.politeness import NightWindow, PolitenessPolicy
 from repro.freshness.policies import RevisitPolicy, build_revisit_policy
@@ -107,6 +113,15 @@ class IncrementalCrawlerConfig:
         engine: ``"batched"`` (tick-window engine, the default) or
             ``"reference"`` (one event per fetch, the pinned per-URL path).
             Both produce bit-identical results.
+        fault_models: Optional fault-model stack as ``(kind, params)``
+            pairs, resolved through
+            :data:`repro.api.registry.FAULT_MODELS`. ``None`` (the
+            default) runs the pre-fault fetch path byte for byte.
+        fault_seed: Seed of the fault layer and retry jitter.
+        retry: Optional :class:`repro.faults.RetryPolicy` for the
+            failure-aware engine. Defaults apply when ``fault_models`` is
+            set without an explicit policy; setting ``retry`` alone arms
+            the failure-aware engine without injecting faults.
     """
 
     collection_capacity: int = 500
@@ -126,6 +141,9 @@ class IncrementalCrawlerConfig:
     politeness_night_start: float = 0.875
     politeness_night_duration: float = 0.375
     engine: str = "batched"
+    fault_models: Optional[Tuple[Tuple[str, dict], ...]] = None
+    fault_seed: int = 0
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.collection_capacity < 1:
@@ -143,6 +161,27 @@ class IncrementalCrawlerConfig:
             )
         if self.politeness_min_delay_seconds < 0:
             raise ValueError("politeness_min_delay_seconds must be non-negative")
+        # Build the fault layer once so bad model names/params fail here,
+        # not deep inside a run.
+        self.build_fault_layer()
+
+    def build_fault_layer(self) -> Optional[FaultLayer]:
+        """Instantiate the configured fault layer (``None`` when off)."""
+        if not self.fault_models:
+            return None
+        return build_fault_layer(self.fault_models, seed=self.fault_seed)
+
+    def build_failure_tracker(self) -> Optional[FailureTracker]:
+        """Instantiate the failure tracker (``None`` when faults/retry off).
+
+        The tracker is armed whenever faults are injected *or* an explicit
+        retry policy is configured; faults without a policy take the
+        default :class:`~repro.faults.RetryPolicy`.
+        """
+        if not self.fault_models and self.retry is None:
+            return None
+        policy = self.retry if self.retry is not None else RetryPolicy()
+        return FailureTracker(policy, seed=self.fault_seed)
 
     def build_revisit_policy(self) -> RevisitPolicy:
         """Instantiate the configured revisit policy through the registry."""
@@ -250,13 +289,16 @@ class IncrementalCrawler:
             # Site-affinity contract: per-site politeness state must never
             # cross a shard boundary, so a foreign-site request raises.
             politeness.allowed_sites = allowed_sites
-        self._fetcher = SimulatedFetcher(web, politeness=politeness)
+        self._fetcher = SimulatedFetcher(
+            web, politeness=politeness, faults=self._config.build_fault_layer()
+        )
         self._collection = InPlaceCollection(capacity=self._config.collection_capacity)
         self._allurls = AllUrls()
         self._collurls = CollUrls()
         self._crawl_module = CrawlModule(
             self._fetcher, self._collection, self._allurls, link_filter=link_filter
         )
+        self._failure_tracker = self._config.build_failure_tracker()
         self._update_module = UpdateModule(
             self._collurls,
             self._crawl_module,
@@ -268,6 +310,7 @@ class IncrementalCrawler:
                 use_importance=self._config.use_importance_in_scheduling,
             ),
             revisit_policy=self._config.build_revisit_policy(),
+            failure_tracker=self._failure_tracker,
         )
         self._ranking_module = RankingModule(
             self._allurls,
@@ -316,6 +359,17 @@ class IncrementalCrawler:
     def update_module(self) -> UpdateModule:
         """The UpdateModule (exposes per-page rate estimates)."""
         return self._update_module
+
+    @property
+    def failure_tracker(self) -> Optional[FailureTracker]:
+        """The failure tracker (``None`` when faults and retry are off)."""
+        return self._failure_tracker
+
+    def failure_counters(self) -> Optional[dict]:
+        """Failure counters by class (``None`` without a failure tracker)."""
+        if self._failure_tracker is None:
+            return None
+        return dict(self._failure_tracker.counters)
 
     @property
     def ranking_module(self) -> RankingModule:

@@ -110,6 +110,9 @@ class ShardedCrawlResult(CrawlRunResult):
     shards: int = 1
     workers: int = 1
     per_shard: List[dict] = field(default_factory=list)
+    #: Failure counters by class summed across shards (``None`` when the
+    #: run had no failure tracker, i.e. neither faults nor retry).
+    failures: Optional[Dict[str, int]] = None
 
 
 def _run_shard(
@@ -208,6 +211,7 @@ def _run_shard(
             ],
             "attainable": crawler.quality_attainable(),
             "fetch_count": crawler._fetcher.fetch_count,
+            "failures": crawler.failure_counters(),
         }
         if backend is not None:
             backend.save_state(result_key, payload)
@@ -264,7 +268,22 @@ class ShardedCrawler:
         checkpoint_every: Optional per-shard checkpoint cadence (days).
         spec_hash: Optional spec hash stamped into shard checkpoints and
             results, so a resume refuses foreign state.
+        worker_retries: How many times a crashed or killed shard worker is
+            re-run before the coordinator gives up and raises (with the
+            worker's traceback or exit code). Recovery requires per-shard
+            persistence (``storage``, ``store_path`` and
+            ``checkpoint_every``): the respawned worker resumes from the
+            shard's last checkpoint — or short-circuits from its stored
+            result if the crash hit after completion — so the merged
+            result stays bit-identical to an uninterrupted run. Without
+            persistence a worker failure is immediately fatal, exactly the
+            pre-retry behaviour.
     """
+
+    #: Upper bound on a worker join before escalating to terminate/kill;
+    #: generous, because a healthy worker exits within milliseconds of
+    #: reporting its result.
+    JOIN_TIMEOUT_SECONDS: float = 30.0
 
     def __init__(
         self,
@@ -278,11 +297,14 @@ class ShardedCrawler:
         store_path: Optional[str] = None,
         checkpoint_every: Optional[float] = None,
         spec_hash: Optional[str] = None,
+        worker_retries: int = 2,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if worker_retries < 0:
+            raise ValueError("worker_retries must be non-negative")
         self._web = web
         self._config = config if config is not None else IncrementalCrawlerConfig()
         if self._config.engine != "batched":
@@ -297,6 +319,7 @@ class ShardedCrawler:
         self._store_path = store_path
         self._checkpoint_every = checkpoint_every
         self._spec_hash = spec_hash
+        self.worker_retries = worker_retries
         #: Optional live-progress hook ``(shard_index, at, freshness,
         #: quality)`` invoked as per-window messages arrive. Arrival order
         #: across shards depends on worker scheduling — consumers must not
@@ -382,16 +405,77 @@ class ShardedCrawler:
 
         return _run_shard(job, self._web, on_measure=on_measure)
 
+    def _can_recover_workers(self) -> bool:
+        """Whether a crashed worker can be re-run from its shard's store."""
+        return (
+            self.worker_retries > 0
+            and self._storage is not None
+            and self._store_path is not None
+            and self._checkpoint_every is not None
+        )
+
+    def _reap(self, process: multiprocessing.Process) -> None:
+        """Join a worker with a bounded wait, escalating to terminate/kill.
+
+        An indefinite ``join()`` would hang the coordinator forever on a
+        worker stuck in un-interruptible state; every join in this class
+        goes through here so a wedged worker costs at most a few bounded
+        waits before being killed.
+        """
+        process.join(timeout=self.JOIN_TIMEOUT_SECONDS)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=self.JOIN_TIMEOUT_SECONDS)
+        if process.is_alive():  # pragma: no cover - needs an unkillable worker
+            process.kill()
+            process.join(timeout=self.JOIN_TIMEOUT_SECONDS)
+
+    def _handle_worker_failure(
+        self,
+        shard: int,
+        detail: str,
+        pending: List[ShardRunSpec],
+        attempts: Dict[int, int],
+        by_shard: Dict[int, ShardRunSpec],
+    ) -> None:
+        """Requeue a failed shard with resume, or raise once retries run out.
+
+        The respawned job resumes from the shard's last checkpoint (or
+        short-circuits from its stored result when the worker died after
+        finishing but before reporting), so recovery never replays work
+        differently — the merged result is bit-identical either way.
+        """
+        attempts[shard] += 1
+        if self._can_recover_workers() and attempts[shard] <= self.worker_retries:
+            job = dataclasses.replace(by_shard[shard], resume=True)
+            by_shard[shard] = job
+            pending.append(job)
+            return
+        raise RuntimeError(
+            f"shard {shard} worker failed "
+            f"(attempt {attempts[shard]}, retries exhausted):\n{detail}"
+        )
+
     def _run_workers(self, jobs: List[ShardRunSpec]) -> List[dict]:
-        """Fan shard jobs out to at most ``workers`` processes at a time."""
+        """Fan shard jobs out to at most ``workers`` processes at a time.
+
+        A worker that reports an error or dies silently (killed, OOMed,
+        or exiting cleanly without a result) is re-run up to
+        ``worker_retries`` times when per-shard persistence is configured
+        — resuming from the shard checkpoint — before the failure is
+        raised with the worker's traceback or exit code.
+        """
         ctx = multiprocessing.get_context("spawn")
         results_queue = ctx.Queue()
         payloads: Dict[int, dict] = {}
         running: Dict[int, multiprocessing.Process] = {}
+        attempts: Dict[int, int] = {job.view.index: 0 for job in jobs}
         with SharedWeb(self._web) as shared:
-            pending = [
-                dataclasses.replace(job, payload=shared.payload) for job in jobs
-            ]
+            by_shard = {
+                job.view.index: dataclasses.replace(job, payload=shared.payload)
+                for job in jobs
+            }
+            pending = list(by_shard.values())
             pending.reverse()  # pop() serves shards in shard-index order
             try:
                 while pending or running:
@@ -407,7 +491,9 @@ class ShardedCrawler:
                     try:
                         message = results_queue.get(timeout=1.0)
                     except queue_module.Empty:
-                        self._check_workers(running, payloads)
+                        self._check_workers(
+                            running, payloads, pending, attempts, by_shard
+                        )
                         continue
                     kind = message[0]
                     if kind == "window":
@@ -419,33 +505,50 @@ class ShardedCrawler:
                         payloads[shard] = payload
                         process = running.pop(shard, None)
                         if process is not None:
-                            process.join()
+                            self._reap(process)
                     else:  # "error"
                         _, shard, trace = message
-                        raise RuntimeError(
-                            f"shard {shard} worker failed:\n{trace}"
+                        process = running.pop(shard, None)
+                        if process is not None:
+                            self._reap(process)
+                        self._handle_worker_failure(
+                            shard, trace, pending, attempts, by_shard
                         )
             finally:
                 for process in running.values():
                     if process.is_alive():
                         process.terminate()
-                    process.join()
+                    self._reap(process)
                 results_queue.close()
         return [payloads[job.view.index] for job in jobs]
 
-    @staticmethod
     def _check_workers(
-        running: Dict[int, multiprocessing.Process], payloads: Dict[int, dict]
+        self,
+        running: Dict[int, multiprocessing.Process],
+        payloads: Dict[int, dict],
+        pending: List[ShardRunSpec],
+        attempts: Dict[int, int],
+        by_shard: Dict[int, ShardRunSpec],
     ) -> None:
-        """Detect workers that died without reporting (e.g. OOM-killed)."""
+        """Detect workers that died without reporting (e.g. SIGKILL/OOM).
+
+        A clean exit (code 0) without a result is just as fatal as a
+        signal death — the shard has no payload and nobody will deliver
+        one — so both feed the same retry-or-raise path.
+        """
         for shard, process in list(running.items()):
             if shard in payloads or process.is_alive():
                 continue
-            if process.exitcode != 0:
-                raise RuntimeError(
-                    f"shard {shard} worker exited with code "
-                    f"{process.exitcode} without reporting a result"
-                )
+            running.pop(shard)
+            self._reap(process)
+            self._handle_worker_failure(
+                shard,
+                f"worker process exited with code {process.exitcode} "
+                "without reporting a result",
+                pending,
+                attempts,
+                by_shard,
+            )
 
     # ------------------------------------------------------------------ #
     # Merge
@@ -527,16 +630,22 @@ class ShardedCrawler:
             result.changes_detected += int(counters["changes_detected"])
             result.pages_replaced += int(counters["pages_replaced"])
             result.records.extend(p["records"])
-            result.per_shard.append(
-                {
-                    "shard": p["shard_index"],
-                    "capacity": p["capacity"],
-                    "budget_per_day": p["budget_per_day"],
-                    "attainable": p["attainable"],
-                    "fetch_count": p["fetch_count"],
-                    **{key: int(value) for key, value in counters.items()},
-                }
-            )
+            per_shard = {
+                "shard": p["shard_index"],
+                "capacity": p["capacity"],
+                "budget_per_day": p["budget_per_day"],
+                "attainable": p["attainable"],
+                "fetch_count": p["fetch_count"],
+                **{key: int(value) for key, value in counters.items()},
+            }
+            failures = p.get("failures")
+            if failures is not None:
+                per_shard["failures"] = dict(failures)
+                if result.failures is None:
+                    result.failures = {}
+                for key, value in failures.items():
+                    result.failures[key] = result.failures.get(key, 0) + int(value)
+            result.per_shard.append(per_shard)
         result.estimator_state = UpdateModule.merge_snapshots(
             [p["update"] for p in payloads]
         )

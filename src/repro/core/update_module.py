@@ -26,7 +26,26 @@ from repro.core.collurls import CollUrls
 from repro.core.crawl_module import BatchCrawlOutcome, CrawlModule, CrawlOutcome
 from repro.estimation.change_history import ChangeHistory
 from repro.estimation.rate_estimators import ChangeRateEstimator, build_rate_estimator
+from repro.faults import (
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_RATE_LIMITED,
+    STATUS_SOFT_404,
+    STATUS_TIMEOUT,
+    TRANSIENT_CODES,
+    FailureTracker,
+)
+from repro.fetch.fetcher import STATUS_TO_CODE, FetchStatus
 from repro.freshness.policies import RevisitPolicy, UniformRevisitPolicy
+
+#: FetchStatus members that are *no observation* of the page (see
+#: repro.faults.TRANSIENT_CODES): the fetch failed, the page may be fine.
+_TRANSIENT_STATUSES = (
+    FetchStatus.TIMEOUT,
+    FetchStatus.SERVER_ERROR,
+    FetchStatus.RATE_LIMITED,
+    FetchStatus.SOFT_404,
+)
 
 
 @dataclass(frozen=True)
@@ -76,6 +95,9 @@ class UpdateModule:
         config: Module configuration.
         revisit_policy: Policy mapping estimated rates to revisit intervals;
             defaults to the uniform (fixed-frequency) policy.
+        failure_tracker: Optional retry/circuit-breaker state for
+            failure-aware crawling. ``None`` (the default) keeps every code
+            path byte-identical to the fault-free engine.
     """
 
     def __init__(
@@ -84,11 +106,13 @@ class UpdateModule:
         crawl_module: CrawlModule,
         config: UpdateModuleConfig,
         revisit_policy: Optional[RevisitPolicy] = None,
+        failure_tracker: Optional[FailureTracker] = None,
     ) -> None:
         self._collurls = collurls
         self._crawl_module = crawl_module
         self._config = config
         self._policy = revisit_policy if revisit_policy is not None else UniformRevisitPolicy()
+        self.failure_tracker = failure_tracker
         self._histories: Dict[str, ChangeHistory] = {}
         self._estimator: ChangeRateEstimator = build_rate_estimator(config.estimator)
         self._rate_estimates: Dict[str, float] = {}
@@ -115,9 +139,42 @@ class UpdateModule:
         if head is None:
             return None
         url, _scheduled = head
+        tracker = self.failure_tracker
+        site: Optional[str] = None
+        if tracker is not None:
+            site = self._crawl_module.site_of(url)
+            if tracker.quarantined(site, at):
+                # Circuit breaker: the slot is spent but nothing is fetched;
+                # the URL is deferred to the quarantine's probe time.
+                self._collurls.schedule(url, tracker.defer(url, site, at))
+                return None
         outcome = self._crawl_module.crawl(url, at)
         self.pages_processed += 1
         completed = outcome.completed_at
+
+        if tracker is not None and outcome.fetch.status in _TRANSIENT_STATUSES:
+            # Transient failure: no observation of the page was made, so the
+            # change history and rate estimate stay untouched. The retry
+            # policy decides whether the URL goes back into the queue.
+            retry_at = tracker.on_failure(
+                url,
+                site,
+                STATUS_TO_CODE[outcome.fetch.status],
+                completed,
+                outcome.fetch.retry_after,
+            )
+            if retry_at is not None:
+                self._collurls.schedule(url, retry_at)
+            else:
+                # Retries exhausted: drop the page from the schedule (the
+                # RankingModule will admit a replacement) but leave AllUrls
+                # alone — the page was never observed to be gone.
+                self._forget(url)
+                self._crawl_module.discard(url)
+            journal = self._crawl_module.journal
+            if journal is not None:
+                journal.on_outcome(outcome, self._crawl_module.collection)
+            return outcome
 
         if not outcome.stored:
             # The page has disappeared (or is excluded): drop its statistics
@@ -130,6 +187,8 @@ class UpdateModule:
                 journal.on_outcome(outcome, self._crawl_module.collection)
             return outcome
 
+        if tracker is not None:
+            tracker.on_success(url, site)
         self._observe(url, completed, outcome)
         self._maybe_reallocate(completed)
         next_visit = completed + self._interval_for(url)
@@ -179,6 +238,18 @@ class UpdateModule:
             Number of pages processed (slots with an empty queue are idle,
             exactly like ``process_next`` returning ``None``).
         """
+        if self.failure_tracker is not None:
+            # The failure-aware path is only needed when faults can actually
+            # fire: without active status or latency models no transient
+            # status and no breaker state can ever arise, so the plain (or
+            # polite) engine is bit-identical — and pays nothing for the
+            # armed tracker. This is what keeps a zero-rate fault layer
+            # byte-for-byte equal to no fault layer at all.
+            faults = self._crawl_module.fetcher.faults
+            if faults is not None and (
+                faults.has_status_models or faults.has_latency_models
+            ):
+                return self._process_slots_faulty(slot_times, self.failure_tracker)
         politeness = self._crawl_module.fetcher.politeness
         if politeness is not None:
             return self._process_slots_polite(slot_times, politeness)
@@ -308,6 +379,158 @@ class UpdateModule:
                 self._collurls.schedule_many(reschedule_urls, reschedule_times)
                 processed += cut
                 slot_index += cut
+        flush()
+        return processed
+
+    def _process_slots_faulty(
+        self, slot_times: Sequence[float], tracker: FailureTracker
+    ) -> int:
+        """Failure-aware variant of :meth:`process_slots`.
+
+        With a :class:`~repro.faults.FailureTracker` configured the queue
+        dynamics depend on stateful per-fetch decisions (retry backoff,
+        circuit breakers), so phase one runs fully scalar: each slot pops
+        the queue head, predicts the fetch's status — faults are pure
+        functions of ``(url, site, slot_time, seed)`` and success is an
+        oracle existence test, so the prediction equals what the batched
+        fetch will resolve — mutates the tracker exactly once, and commits
+        its reschedule (next visit, retry backoff or breaker probe)
+        immediately. That consumes CollUrls sequence numbers in exact fetch
+        order, so the queue is reference-like at every pop and no overtake
+        machinery is needed. Phase two still resolves the accumulated
+        fetches through one :meth:`process_batch` call per region; the
+        frozen per-entry decisions ride along so the tracker is never
+        consulted twice.
+
+        Reallocation boundaries match :meth:`process_next`: only a
+        *successful* fetch can trigger one, the trigger flushes the pending
+        batch first (the reallocation must see those observations), and the
+        triggering entry runs as a single-entry batch so its reschedule
+        uses the post-reallocation intervals.
+        """
+        fetcher = self._crawl_module.fetcher
+        politeness = fetcher.politeness
+        faults = fetcher.faults
+        latency = fetcher.latency_days
+        web = fetcher.web
+        horizon = web.horizon_days
+        realloc_interval = self._config.reallocation_interval_days
+        arrays = web.oracle_arrays()
+        page_index = arrays.index
+        site_table = arrays.site_ids
+        cache = self._existence_cache
+        if cache is None or cache[0] is not arrays:
+            cache = (arrays, arrays.created.tolist(), arrays.deleted.tolist())
+            self._existence_cache = cache
+        created = cache[1]
+        deleted = cache[2]
+        default_interval = self._config.default_interval_days
+        has_status = faults is not None and faults.has_status_models
+        has_latency = faults is not None and faults.has_latency_models
+        use_starts = politeness is not None
+
+        pending_urls: List[str] = []
+        pending_times: List[float] = []
+        pending_starts: List[float] = []
+        pending_decisions: List[tuple] = []
+
+        def flush() -> None:
+            if pending_urls:
+                self.process_batch(
+                    pending_urls,
+                    pending_times,
+                    reschedule=False,
+                    resolved_at=pending_starts if use_starts else None,
+                    failure_decisions=pending_decisions,
+                )
+                pending_urls.clear()
+                pending_times.clear()
+                pending_starts.clear()
+                pending_decisions.clear()
+
+        processed = 0
+        slot_index = 0
+        n_slots = len(slot_times)
+        while slot_index < n_slots:
+            at = slot_times[slot_index]
+            head = self._collurls.pop()
+            if head is None:
+                # Empty queue: every remaining slot is a no-op.
+                break
+            url = head[0]
+            page_id = page_index.get(url, -1)
+            site = site_table[page_id] if page_id >= 0 else None
+            if tracker.quarantined(site, at):
+                self._collurls.schedule(url, tracker.defer(url, site, at))
+                slot_index += 1
+                continue
+            if politeness is not None and site is not None:
+                start = politeness.earliest_allowed(site, at)
+                politeness.record_request(site, start)
+            else:
+                start = at
+            slot_latency = latency
+            if has_latency:
+                slot_latency = latency * faults.latency_factor_one(at)
+            completed = start + slot_latency
+            if completed > horizon:
+                completed = horizon
+            code = STATUS_OK
+            retry_after = 0.0
+            if has_status and page_id >= 0:
+                code, retry_after = faults.resolve_one(url, site, at)
+            if STATUS_TIMEOUT <= code <= STATUS_RATE_LIMITED:
+                status = code
+            else:
+                snapshot_time = start if start < horizon else horizon
+                alive = (
+                    page_id >= 0
+                    and created[page_id] <= snapshot_time < deleted[page_id]
+                )
+                if not alive:
+                    status = STATUS_NOT_FOUND
+                elif code == STATUS_SOFT_404:
+                    status = STATUS_SOFT_404
+                else:
+                    status = STATUS_OK
+            if status == STATUS_OK:
+                tracker.on_success(url, site)
+                last = self._last_reallocation
+                if last is None or completed - last >= realloc_interval:
+                    # Reallocation boundary (only successful fetches can
+                    # trigger one, like process_next's early return).
+                    flush()
+                    self.process_batch(
+                        [url],
+                        [at],
+                        resolved_at=[start] if use_starts else None,
+                        failure_decisions=[("ok",)],
+                    )
+                    processed += 1
+                    slot_index += 1
+                    continue
+                interval = self._intervals.get(url)
+                if interval is None or interval <= 0:
+                    interval = default_interval
+                self._collurls.schedule(url, completed + interval)
+                decision = ("ok",)
+            elif status == STATUS_NOT_FOUND:
+                decision = ("gone",)
+            else:
+                retry_at = tracker.on_failure(
+                    url, site, status, completed, retry_after
+                )
+                if retry_at is not None:
+                    self._collurls.schedule(url, retry_at)
+                    decision = ("retry", retry_at)
+                else:
+                    decision = ("drop",)
+            pending_urls.append(url)
+            pending_times.append(at)
+            pending_starts.append(start)
+            pending_decisions.append(decision)
+            processed += 1
+            slot_index += 1
         flush()
         return processed
 
@@ -595,6 +818,7 @@ class UpdateModule:
         times: Sequence[float],
         reschedule: bool = True,
         resolved_at: Optional[Sequence[float]] = None,
+        failure_decisions: Optional[Sequence[tuple]] = None,
     ) -> BatchCrawlOutcome:
         """Crawl a batch of URLs and fold the outcomes into the statistics.
 
@@ -622,6 +846,13 @@ class UpdateModule:
             resolved_at: Optional politeness-resolved start instant per URL
                 (already recorded against the policy state), forwarded to
                 the fetch layer.
+            failure_decisions: Per-URL frozen failure decisions from
+                :meth:`_process_slots_faulty` — ``("ok",)``, ``("gone",)``,
+                ``("retry", retry_at)`` or ``("drop",)``. When given, the
+                failure tracker has already been mutated (once per fetch,
+                in fetch order) and is not consulted again here; when
+                ``None`` with a tracker configured, the tracker is
+                consulted inline per entry.
 
         Returns:
             The :class:`BatchCrawlOutcome` from the CrawlModule.
@@ -653,21 +884,59 @@ class UpdateModule:
 
         histories = self._histories
         window_days = self._config.history_window_days
-        for url, stored_i, changed_i, was_new_i, completed_i in zip(
-            outcome.urls, stored, changed, was_new, completed
+        tracker = self.failure_tracker
+        if tracker is not None and failure_decisions is None:
+            faults = self._crawl_module.fetcher.faults
+            if faults is None or not (
+                faults.has_status_models or faults.has_latency_models
+            ):
+                # No active fault weather: transient statuses cannot arise
+                # and the tracker holds no per-site state, so the per-page
+                # on_success/on_failure consults are guaranteed no-ops.
+                tracker = None
+        statuses = outcome.statuses
+        retry_after = outcome.retry_after
+        for i, (url, stored_i, changed_i, was_new_i, completed_i) in enumerate(
+            zip(outcome.urls, stored, changed, was_new, completed)
         ):
             if not stored_i:
-                # The page has disappeared (or is excluded): drop its
-                # statistics and do not reschedule it; the RankingModule
-                # will admit a replacement page on its next scan. If an
-                # earlier visit of this page is awaiting its estimator
-                # update, fold it first — its rate is set and then
-                # forgotten, exactly as the per-URL order would have it.
+                transient = statuses is not None and statuses[i] in TRANSIENT_CODES
+                if failure_decisions is not None:
+                    retry = failure_decisions[i][0] == "retry"
+                elif tracker is not None and transient:
+                    # Inline tracker consult (direct process_batch callers):
+                    # same decision the failure-aware engine would freeze.
+                    retry_at = tracker.on_failure(
+                        url,
+                        self._crawl_module.site_of(url),
+                        statuses[i],
+                        completed_i,
+                        0.0 if retry_after is None else retry_after[i],
+                    )
+                    retry = retry_at is not None
+                    if retry and reschedule:
+                        self._collurls.schedule(url, retry_at)
+                else:
+                    retry = False
+                if retry:
+                    # Transient failure with a retry scheduled: no
+                    # observation was made, so the page's statistics and
+                    # queue entry survive untouched. Terminal transient
+                    # drops fall through to the forget path below.
+                    continue
+                # The page has disappeared (or is excluded), or its retries
+                # are exhausted: drop its statistics and do not reschedule
+                # it; the RankingModule will admit a replacement page on its
+                # next scan. If an earlier visit of this page is awaiting
+                # its estimator update, fold it first — its rate is set and
+                # then forgotten, exactly as the per-URL order would have it.
                 if url in chunk_members:
                     flush_estimates()
                 self._forget(url)
                 self._crawl_module.discard(url)
                 continue
+            if tracker is not None and failure_decisions is None:
+                tracker.on_success(url, self._crawl_module.site_of(url))
             if first_completed is None:
                 first_completed = completed_i
             if reschedule:
@@ -812,7 +1081,7 @@ class UpdateModule:
         ``rate_estimates`` insertion order feeds :meth:`_maybe_reallocate`'s
         float reductions, which are ulp-sensitive to summation order.
         """
-        return {
+        state = {
             "histories": {
                 url: history.state_dict()
                 for url, history in self._histories.items()
@@ -825,6 +1094,11 @@ class UpdateModule:
             "pages_processed": self.pages_processed,
             "changes_detected": self.changes_detected,
         }
+        if self.failure_tracker is not None:
+            # Key present only for failure-aware runs: fault-free snapshots
+            # stay byte-identical to the pre-fault format.
+            state["failures"] = self.failure_tracker.snapshot()
+        return state
 
     @classmethod
     def merge_snapshots(cls, snapshots: Sequence[dict]) -> dict:
@@ -886,6 +1160,9 @@ class UpdateModule:
             merged["pages_processed"] += int(snapshot["pages_processed"])
             merged["changes_detected"] += int(snapshot["changes_detected"])
             merged["shards"].append(snapshot["estimator"])
+        failure_states = [s["failures"] for s in snapshots if "failures" in s]
+        if failure_states:
+            merged["failures"] = FailureTracker.merge_snapshots(failure_states)
         return merged
 
     def restore_snapshot(self, state: dict) -> None:
@@ -912,3 +1189,5 @@ class UpdateModule:
         self._existence_cache = None
         self.pages_processed = int(state["pages_processed"])
         self.changes_detected = int(state["changes_detected"])
+        if self.failure_tracker is not None and "failures" in state:
+            self.failure_tracker.restore_snapshot(state["failures"])

@@ -1,0 +1,728 @@
+"""Deterministic fault injection for the simulated fetch path.
+
+The paper frames the incremental crawler as a long-running service, which is
+exactly where transient failure handling dominates design: timeouts, 5xx
+bursts, whole sites going dark, rate limiting and soft-404 flapping. This
+module supplies that weather as *pure functions* of
+``(url, site, virtual_time, seed)``: a fetch issued at the same virtual time
+with the same seed always sees the same fault, regardless of engine, shard
+count or worker count — so chaos runs stay bit-identical and resumable.
+
+Three layers live here:
+
+* **Fault models** (``@register_fault_model``): small parameterised
+  generators that map batches of ``(url, site, time)`` to status codes.
+  Each model hashes its inputs through a BLAKE2b/splitmix64 chain and
+  thresholds the resulting uniform variate, so the whole batch resolves in
+  a handful of vectorized NumPy passes.
+* :class:`FaultLayer`: an ordered stack of models applied to a fetch batch.
+  Earlier models win; the first non-OK code per URL sticks. Latency models
+  are kept separate and only inflate transfer latency.
+* :class:`RetryPolicy` / :class:`FailureTracker`: the failure-aware side of
+  the engine — exponential backoff with seeded jitter, per-site retry
+  budgets, and a per-site circuit breaker with decaying probe frequency.
+  The tracker is plain serializable state (snapshot/restore/merge) so it
+  rides in checkpoints and shard payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.registry import FAULT_MODELS, register_fault_model
+
+# --------------------------------------------------------------------------- #
+# Integer status codes
+# --------------------------------------------------------------------------- #
+# The fetch path resolves statuses in bulk, so FetchStatus values travel as
+# small integers inside NumPy arrays. ``repro.fetch.fetcher`` maps them back
+# to FetchStatus members; the codes themselves are part of the checkpoint
+# format and must stay stable.
+
+STATUS_OK = 0
+STATUS_NOT_FOUND = 1
+STATUS_EXCLUDED = 2
+STATUS_TIMEOUT = 3
+STATUS_SERVER_ERROR = 4
+STATUS_RATE_LIMITED = 5
+STATUS_SOFT_404 = 6
+
+#: Codes that abort the fetch before the oracle is consulted (no body).
+HARD_FAULT_CODES = (STATUS_TIMEOUT, STATUS_SERVER_ERROR, STATUS_RATE_LIMITED)
+#: Codes that are *no observation* of the page: the page may be fine, the
+#: fetch just failed. These never reach ``AllUrls.record_failure`` and never
+#: append to a ``ChangeHistory``.
+TRANSIENT_CODES = (
+    STATUS_TIMEOUT,
+    STATUS_SERVER_ERROR,
+    STATUS_RATE_LIMITED,
+    STATUS_SOFT_404,
+)
+
+_MASK = (1 << 64) - 1
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit hash of a string (BLAKE2b, big-endian)."""
+    return int.from_bytes(
+        hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def _splitmix(z: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def _mix(z: np.ndarray, v) -> np.ndarray:
+    """Fold ``v`` (scalar int or uint64 array) into the hash state."""
+    if not isinstance(v, np.ndarray):
+        v = np.uint64(int(v) & _MASK)
+    return _splitmix((z + _GOLDEN) + v)
+
+
+def _uniform01(z: np.ndarray) -> np.ndarray:
+    """Map uint64 hashes to uniforms in [0, 1) using the top 53 bits."""
+    return (z >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+
+
+def _time_bits(times: np.ndarray) -> np.ndarray:
+    """The IEEE-754 bit pattern of each time, as uint64 (exact, no rounding)."""
+    return np.ascontiguousarray(np.asarray(times, dtype=np.float64)).view(np.uint64)
+
+
+def _keyed(keys: np.ndarray, seed: int, salt: int) -> np.ndarray:
+    """Seed + per-model salt folded into a uint64 key array."""
+    z = _splitmix((np.asarray(keys, dtype=np.uint64) + _GOLDEN) + np.uint64(seed & _MASK))
+    return _splitmix((z + _GOLDEN) + np.uint64(salt & _MASK))
+
+
+# --------------------------------------------------------------------------- #
+# Fault models
+# --------------------------------------------------------------------------- #
+
+
+class FaultModel:
+    """Base class for registered fault models.
+
+    Status models implement :meth:`apply`, filling ``codes`` (int64, 0 where
+    no model has claimed the fetch yet) and ``retry_after`` in place for the
+    entries they fault. Latency models set ``is_latency`` and implement
+    :meth:`factors` instead.
+    """
+
+    kind: str = ""
+    SALT: int = 0
+    is_latency: bool = False
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this model can never claim a fetch (e.g. zero rate).
+
+        Null models are dropped from the :class:`FaultLayer`'s active sets
+        so the fetch path pays nothing for them — which is what makes a
+        zero-rate fault layer bit-identical to (and as fast as) no fault
+        layer at all.
+        """
+        return False
+
+    def apply(
+        self,
+        url_hashes: np.ndarray,
+        site_hashes: np.ndarray,
+        times: np.ndarray,
+        time_bits: np.ndarray,
+        seed: int,
+        codes: np.ndarray,
+        retry_after: np.ndarray,
+    ) -> None:
+        raise NotImplementedError
+
+    def factors(self, times: np.ndarray, seed: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> dict:
+        """The constructor parameters, for reporting."""
+        return {}
+
+
+def _check_rate(name: str, rate: float) -> float:
+    rate = float(rate)
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {rate}")
+    return rate
+
+
+def _check_positive(name: str, value: float) -> float:
+    value = float(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+@register_fault_model("transient")
+class TransientFaults(FaultModel):
+    """Independent per-(url, time) transient errors: timeouts and 5xx.
+
+    Args:
+        rate: Probability that any single fetch fails transiently.
+        timeout_fraction: Of those failures, the fraction reported as
+            ``TIMEOUT`` (the rest are ``SERVER_ERROR``).
+    """
+
+    kind = "transient"
+    SALT = 0x7452414E
+
+    def __init__(self, rate: float = 0.02, timeout_fraction: float = 0.5) -> None:
+        self.rate = _check_rate("rate", rate)
+        self.timeout_fraction = _check_rate("timeout_fraction", timeout_fraction)
+
+    @property
+    def is_null(self) -> bool:
+        return self.rate <= 0.0
+
+    def apply(self, url_hashes, site_hashes, times, time_bits, seed, codes, retry_after):
+        if self.rate <= 0.0:
+            return
+        z = _mix(_keyed(url_hashes, seed, self.SALT), time_bits)
+        hit = (codes == 0) & (_uniform01(z) < self.rate)
+        if hit.any():
+            split = _uniform01(_splitmix(z + _GOLDEN))
+            codes[hit] = np.where(
+                split[hit] < self.timeout_fraction, STATUS_TIMEOUT, STATUS_SERVER_ERROR
+            )
+
+    def params(self) -> dict:
+        return {"rate": self.rate, "timeout_fraction": self.timeout_fraction}
+
+
+@register_fault_model("site_outage")
+class SiteOutageFaults(FaultModel):
+    """Correlated per-site outages: a site goes dark for a time window.
+
+    Virtual time is cut into windows of ``period_days``; in each window a
+    site is dark — every fetch returns ``SERVER_ERROR`` — for the first
+    ``duration_days`` with probability ``rate``, decided by a hash of
+    ``(site, window)``.
+    """
+
+    kind = "site_outage"
+    SALT = 0x4F555447
+
+    def __init__(
+        self,
+        rate: float = 0.1,
+        period_days: float = 7.0,
+        duration_days: float = 0.5,
+    ) -> None:
+        self.rate = _check_rate("rate", rate)
+        self.period_days = _check_positive("period_days", period_days)
+        self.duration_days = _check_positive("duration_days", duration_days)
+        if self.duration_days > self.period_days:
+            raise ValueError("duration_days cannot exceed period_days")
+
+    @property
+    def is_null(self) -> bool:
+        return self.rate <= 0.0
+
+    def apply(self, url_hashes, site_hashes, times, time_bits, seed, codes, retry_after):
+        if self.rate <= 0.0:
+            return
+        window = np.floor(times / self.period_days)
+        z = _mix(_keyed(site_hashes, seed, self.SALT), window.astype(np.uint64))
+        in_window = times - window * self.period_days < self.duration_days
+        dark = (codes == 0) & in_window & (_uniform01(z) < self.rate)
+        codes[dark] = STATUS_SERVER_ERROR
+
+    def params(self) -> dict:
+        return {
+            "rate": self.rate,
+            "period_days": self.period_days,
+            "duration_days": self.duration_days,
+        }
+
+
+@register_fault_model("rate_limit")
+class RateLimitFaults(FaultModel):
+    """Independent 429 responses carrying a fixed retry-after hint."""
+
+    kind = "rate_limit"
+    SALT = 0x52415445
+
+    def __init__(self, rate: float = 0.02, retry_after_days: float = 0.25) -> None:
+        self.rate = _check_rate("rate", rate)
+        self.retry_after_days = _check_positive("retry_after_days", retry_after_days)
+
+    @property
+    def is_null(self) -> bool:
+        return self.rate <= 0.0
+
+    def apply(self, url_hashes, site_hashes, times, time_bits, seed, codes, retry_after):
+        if self.rate <= 0.0:
+            return
+        z = _mix(_keyed(url_hashes, seed, self.SALT), time_bits)
+        hit = (codes == 0) & (_uniform01(z) < self.rate)
+        codes[hit] = STATUS_RATE_LIMITED
+        retry_after[hit] = self.retry_after_days
+
+    def params(self) -> dict:
+        return {"rate": self.rate, "retry_after_days": self.retry_after_days}
+
+
+@register_fault_model("soft_404")
+class Soft404Faults(FaultModel):
+    """Soft-404 flapping: a live page intermittently serves an error body.
+
+    Windows of ``flap_period_days``; in each window a page flaps with
+    probability ``rate``, decided by a hash of ``(url, window)``. The fetch
+    path only applies this to pages that actually exist, so a soft-404 is
+    always a *false* deletion signal — exactly the poison the estimator
+    guards must filter.
+    """
+
+    kind = "soft_404"
+    SALT = 0x53344034
+
+    def __init__(self, rate: float = 0.02, flap_period_days: float = 3.0) -> None:
+        self.rate = _check_rate("rate", rate)
+        self.flap_period_days = _check_positive("flap_period_days", flap_period_days)
+
+    @property
+    def is_null(self) -> bool:
+        return self.rate <= 0.0
+
+    def apply(self, url_hashes, site_hashes, times, time_bits, seed, codes, retry_after):
+        if self.rate <= 0.0:
+            return
+        window = np.floor(times / self.flap_period_days).astype(np.uint64)
+        z = _mix(_keyed(url_hashes, seed, self.SALT), window)
+        hit = (codes == 0) & (_uniform01(z) < self.rate)
+        codes[hit] = STATUS_SOFT_404
+
+    def params(self) -> dict:
+        return {"rate": self.rate, "flap_period_days": self.flap_period_days}
+
+
+@register_fault_model("latency")
+class LatencyFaults(FaultModel):
+    """Congestion windows that multiply transfer latency.
+
+    A pure function of *time only* (never of the URL or site), so the
+    batched engine's reallocation-boundary scan stays exact: every fetch in
+    the same congestion window sees the same factor.
+    """
+
+    kind = "latency"
+    SALT = 0x4C415459
+    is_latency = True
+
+    def __init__(
+        self,
+        factor: float = 3.0,
+        rate: float = 0.25,
+        period_days: float = 1.0,
+    ) -> None:
+        self.factor = _check_positive("factor", factor)
+        self.rate = _check_rate("rate", rate)
+        self.period_days = _check_positive("period_days", period_days)
+
+    @property
+    def is_null(self) -> bool:
+        return self.rate <= 0.0 or self.factor == 1.0
+
+    def factors(self, times: np.ndarray, seed: int) -> np.ndarray:
+        window = np.floor(np.asarray(times, dtype=np.float64) / self.period_days)
+        z = _keyed(window.astype(np.uint64), seed, self.SALT)
+        return np.where(_uniform01(z) < self.rate, self.factor, 1.0)
+
+    def params(self) -> dict:
+        return {
+            "factor": self.factor,
+            "rate": self.rate,
+            "period_days": self.period_days,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Fault layer
+# --------------------------------------------------------------------------- #
+
+
+class FaultLayer:
+    """An ordered stack of fault models applied to fetch batches.
+
+    Models apply in the order given; the first model to claim a fetch wins
+    (its code sticks, later models only fill still-OK entries). Latency
+    models are composed multiplicatively and only affect transfer latency.
+
+    Args:
+        models: Fault model instances (see ``FAULT_MODELS``).
+        seed: Injection seed; the same ``(models, seed)`` pair replays the
+            same faults at the same virtual times.
+    """
+
+    def __init__(self, models: Sequence[FaultModel], seed: int = 0) -> None:
+        self.seed = int(seed) & _MASK
+        self.models: List[FaultModel] = list(models)
+        # Null models (zero rate, unit latency factor) can never claim a
+        # fetch: dropping them here lets every consumer skip the hashing
+        # and the failure-aware engine entirely, so arming a zero-rate
+        # layer costs nothing and changes nothing.
+        active = [m for m in self.models if not m.is_null]
+        self._status_models = [m for m in active if not m.is_latency]
+        self._latency_models = [m for m in active if m.is_latency]
+        self._url_hashes: Dict[str, int] = {}
+        self._site_hashes: Dict[Optional[str], int] = {None: 0}
+
+    @property
+    def has_status_models(self) -> bool:
+        return bool(self._status_models)
+
+    @property
+    def has_latency_models(self) -> bool:
+        return bool(self._latency_models)
+
+    def _hashes(self, values: Sequence[Optional[str]], cache: dict) -> np.ndarray:
+        out = np.empty(len(values), dtype=np.uint64)
+        get = cache.get
+        for i, value in enumerate(values):
+            h = get(value)
+            if h is None:
+                h = _hash64(value)
+                cache[value] = h
+            out[i] = h
+        return out
+
+    def resolve(
+        self,
+        urls: Sequence[str],
+        sites: Sequence[Optional[str]],
+        times: Sequence[float],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Resolve fault codes for a batch of fetches.
+
+        Args:
+            urls: URLs being fetched.
+            sites: Owning site id per URL (``None`` allowed; hashes to a
+                fixed sentinel).
+            times: Virtual *request* time per URL — faults are a function of
+                when the fetch was issued, not of politeness-delayed starts,
+                so scalar and batched paths agree by construction.
+
+        Returns:
+            ``(codes, retry_after)``: int64 status codes (0 = no fault) and
+            float64 retry-after hints (0 where absent).
+        """
+        n = len(urls)
+        codes = np.zeros(n, dtype=np.int64)
+        retry_after = np.zeros(n, dtype=np.float64)
+        if n == 0 or not self._status_models:
+            return codes, retry_after
+        url_h = self._hashes(urls, self._url_hashes)
+        site_h = self._hashes(sites, self._site_hashes)
+        t = np.asarray(times, dtype=np.float64)
+        tbits = _time_bits(t)
+        for model in self._status_models:
+            model.apply(url_h, site_h, t, tbits, self.seed, codes, retry_after)
+        return codes, retry_after
+
+    def resolve_one(
+        self, url: str, site: Optional[str], time: float
+    ) -> Tuple[int, float]:
+        """Scalar resolve, delegating to the vectorized path (bit-identical)."""
+        codes, retry_after = self.resolve([url], [site], [time])
+        return int(codes[0]), float(retry_after[0])
+
+    def latency_factors(self, times: Sequence[float]) -> np.ndarray:
+        """Latency multiplier per request time (1.0 where uncongested)."""
+        t = np.asarray(times, dtype=np.float64)
+        factors = np.ones(t.shape, dtype=np.float64)
+        for model in self._latency_models:
+            factors = factors * model.factors(t, self.seed)
+        return factors
+
+    def latency_factor_one(self, time: float) -> float:
+        """Scalar latency multiplier, via the vectorized path."""
+        if not self._latency_models:
+            return 1.0
+        return float(self.latency_factors(np.asarray([time], dtype=np.float64))[0])
+
+
+def build_fault_layer(
+    models: Sequence[Tuple[str, dict]], seed: int = 0
+) -> FaultLayer:
+    """Build a :class:`FaultLayer` from ``(kind, params)`` pairs.
+
+    Args:
+        models: Registered fault-model kinds with their parameters, in
+            application order.
+        seed: Injection seed.
+    """
+    instances = [FAULT_MODELS.create(kind, **dict(params)) for kind, params in models]
+    return FaultLayer(instances, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Retry policy and failure tracking
+# --------------------------------------------------------------------------- #
+
+_RETRY_SALT = 0x52455452
+
+
+def _retry_jitter(url: str, attempt: int, seed: int, jitter: float) -> float:
+    """Deterministic jitter factor in [1 - jitter, 1 + jitter)."""
+    if jitter <= 0.0:
+        return 1.0
+    z = _mix(_keyed(np.asarray([_hash64(url)], dtype=np.uint64), seed, _RETRY_SALT), attempt)
+    u = float(_uniform01(z)[0])
+    return 1.0 + jitter * (2.0 * u - 1.0)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine reacts to transient fetch failures.
+
+    Attributes:
+        max_attempts: Total attempts per URL before the failure becomes
+            terminal (1 = never retry).
+        base_delay_days: Backoff delay after the first failure.
+        multiplier: Exponential backoff multiplier per further attempt.
+        jitter: Seeded jitter half-width as a fraction of the delay
+            (0 disables; 0.25 spreads delays over ±25%).
+        site_budget: Maximum retries charged to any single site over the
+            whole run (``None`` = unlimited). Exhausted budgets turn
+            failures terminal.
+        breaker_threshold: Consecutive failures on one site that trip its
+            circuit breaker.
+        breaker_probe_days: Quarantine length after the first trip; fetches
+            to the site are deferred to the quarantine end (the probe).
+        breaker_backoff: Quarantine growth factor per consecutive trip
+            (decaying probe frequency). Any success fully resets the site.
+    """
+
+    max_attempts: int = 3
+    base_delay_days: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    site_budget: Optional[int] = None
+    breaker_threshold: int = 5
+    breaker_probe_days: float = 1.0
+    breaker_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if int(self.max_attempts) < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_days <= 0:
+            raise ValueError("base_delay_days must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.site_budget is not None and int(self.site_budget) < 0:
+            raise ValueError("site_budget cannot be negative")
+        if int(self.breaker_threshold) < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.breaker_probe_days <= 0:
+            raise ValueError("breaker_probe_days must be positive")
+        if self.breaker_backoff < 1.0:
+            raise ValueError("breaker_backoff must be at least 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": int(self.max_attempts),
+            "base_delay_days": float(self.base_delay_days),
+            "multiplier": float(self.multiplier),
+            "jitter": float(self.jitter),
+            "site_budget": None if self.site_budget is None else int(self.site_budget),
+            "breaker_threshold": int(self.breaker_threshold),
+            "breaker_probe_days": float(self.breaker_probe_days),
+            "breaker_backoff": float(self.breaker_backoff),
+        }
+
+
+_STATUS_COUNTER_KEYS = {
+    STATUS_TIMEOUT: "timeouts",
+    STATUS_SERVER_ERROR: "server_errors",
+    STATUS_RATE_LIMITED: "rate_limited",
+    STATUS_SOFT_404: "soft_404s",
+}
+
+_COUNTER_NAMES = (
+    "timeouts",
+    "server_errors",
+    "rate_limited",
+    "soft_404s",
+    "retries",
+    "retry_drops",
+    "breaker_trips",
+    "breaker_skips",
+)
+
+
+class FailureTracker:
+    """Mutable failure state: retry attempts, budgets and circuit breakers.
+
+    One instance lives inside each crawl engine. Both engines mutate it
+    exactly once per fetch, in fetch order, which is what keeps the batched
+    and reference engines bit-identical under faults.
+
+    Args:
+        policy: The retry policy.
+        seed: Jitter seed (shared with the fault layer by default).
+    """
+
+    def __init__(self, policy: RetryPolicy, seed: int = 0) -> None:
+        self.policy = policy
+        self.seed = int(seed) & _MASK
+        self._attempts: Dict[str, int] = {}
+        self._site_failures: Dict[str, int] = {}
+        self._site_retries: Dict[str, int] = {}
+        self._breaker_until: Dict[str, float] = {}
+        self._breaker_trips: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
+
+    # -------------------------------------------------------------- #
+    # Engine hooks (called once per fetch, in fetch order)
+    # -------------------------------------------------------------- #
+    def quarantined(self, site: Optional[str], at: float) -> bool:
+        """Whether ``site`` is quarantined by its breaker at time ``at``."""
+        if site is None:
+            return False
+        until = self._breaker_until.get(site)
+        return until is not None and at < until
+
+    def defer(self, url: str, site: str, at: float) -> float:
+        """Record a breaker-deferred slot; returns the probe time."""
+        self.counters["breaker_skips"] += 1
+        return self._breaker_until[site]
+
+    def on_success(self, url: str, site: Optional[str]) -> None:
+        """A fetch of ``url`` succeeded: clear its retry and breaker state."""
+        self._attempts.pop(url, None)
+        if site is not None:
+            self._site_failures.pop(site, None)
+            if site in self._breaker_until:
+                del self._breaker_until[site]
+                self._breaker_trips.pop(site, None)
+
+    def on_failure(
+        self,
+        url: str,
+        site: Optional[str],
+        status: int,
+        completed: float,
+        retry_after: float = 0.0,
+    ) -> Optional[float]:
+        """A transient fetch failure; returns the retry time or ``None``.
+
+        ``None`` means the failure is terminal under the policy (attempts
+        exhausted or the site's retry budget spent) and the URL should be
+        dropped from the crawl schedule.
+        """
+        counter = _STATUS_COUNTER_KEYS.get(status)
+        if counter is not None:
+            self.counters[counter] += 1
+        policy = self.policy
+        attempts = self._attempts.get(url, 0) + 1
+        self._attempts[url] = attempts
+        if site is not None:
+            failures = self._site_failures.get(site, 0) + 1
+            self._site_failures[site] = failures
+            trips = self._breaker_trips.get(site, 0)
+            # A site already in probation re-trips on a single failed probe
+            # (decaying probe frequency); a healthy site needs a streak.
+            if failures >= policy.breaker_threshold or trips > 0:
+                trips += 1
+                self._breaker_trips[site] = trips
+                self._breaker_until[site] = completed + (
+                    policy.breaker_probe_days
+                    * policy.breaker_backoff ** (trips - 1)
+                )
+                self._site_failures[site] = 0
+                self.counters["breaker_trips"] += 1
+        if attempts >= policy.max_attempts:
+            self._attempts.pop(url, None)
+            self.counters["retry_drops"] += 1
+            return None
+        if site is not None and policy.site_budget is not None:
+            used = self._site_retries.get(site, 0)
+            if used >= policy.site_budget:
+                self._attempts.pop(url, None)
+                self.counters["retry_drops"] += 1
+                return None
+            self._site_retries[site] = used + 1
+        self.counters["retries"] += 1
+        delay = policy.base_delay_days * policy.multiplier ** (attempts - 1)
+        delay *= _retry_jitter(url, attempts, self.seed, policy.jitter)
+        if status == STATUS_RATE_LIMITED and retry_after > 0.0:
+            delay = max(delay, retry_after)
+        return completed + delay
+
+    # -------------------------------------------------------------- #
+    # Checkpointing and shard merge
+    # -------------------------------------------------------------- #
+    def snapshot(self) -> dict:
+        """JSON-serializable tracker state."""
+        return {
+            "attempts": dict(self._attempts),
+            "site_failures": dict(self._site_failures),
+            "site_retries": dict(self._site_retries),
+            "breaker_until": dict(self._breaker_until),
+            "breaker_trips": dict(self._breaker_trips),
+            "counters": dict(self.counters),
+        }
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Rebuild tracker state exactly as captured by :meth:`snapshot`."""
+        self._attempts = {str(k): int(v) for k, v in state["attempts"].items()}
+        self._site_failures = {
+            str(k): int(v) for k, v in state["site_failures"].items()
+        }
+        self._site_retries = {
+            str(k): int(v) for k, v in state["site_retries"].items()
+        }
+        self._breaker_until = {
+            str(k): float(v) for k, v in state["breaker_until"].items()
+        }
+        self._breaker_trips = {
+            str(k): int(v) for k, v in state["breaker_trips"].items()
+        }
+        self.counters = {name: 0 for name in _COUNTER_NAMES}
+        for key, value in state["counters"].items():
+            self.counters[str(key)] = int(value)
+
+    @staticmethod
+    def merge_snapshots(states: Sequence[dict]) -> dict:
+        """Merge per-shard tracker snapshots (site-affine, hence disjoint)."""
+        merged = {
+            "attempts": {},
+            "site_failures": {},
+            "site_retries": {},
+            "breaker_until": {},
+            "breaker_trips": {},
+            "counters": {name: 0 for name in _COUNTER_NAMES},
+        }
+        for state in states:
+            for table in (
+                "attempts",
+                "site_failures",
+                "site_retries",
+                "breaker_until",
+                "breaker_trips",
+            ):
+                for key, value in state[table].items():
+                    if key in merged[table]:
+                        raise ValueError(
+                            f"failure tracker merge collision in {table!r}: {key!r}"
+                        )
+                    merged[table][key] = value
+            for key, value in state["counters"].items():
+                merged["counters"][key] = merged["counters"].get(key, 0) + int(value)
+        return merged

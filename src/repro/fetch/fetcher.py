@@ -18,6 +18,14 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults import (
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_RATE_LIMITED,
+    STATUS_SOFT_404,
+    STATUS_TIMEOUT,
+    FaultLayer,
+)
 from repro.fetch.checksum import page_checksum
 from repro.fetch.politeness import PolitenessPolicy
 from repro.fetch.robots import RobotsRules
@@ -25,11 +33,36 @@ from repro.simweb.web import SimulatedWeb
 
 
 class FetchStatus(enum.Enum):
-    """Outcome of a simulated fetch."""
+    """Outcome of a simulated fetch.
+
+    ``OK``/``NOT_FOUND``/``EXCLUDED`` are the fair-weather outcomes; the
+    rest are injected by a :class:`~repro.faults.FaultLayer` and are
+    *transient* — they say nothing about whether the page exists, so the
+    engine must not treat them as deletions.
+    """
 
     OK = "ok"
     NOT_FOUND = "not_found"
     EXCLUDED = "excluded"
+    TIMEOUT = "timeout"
+    SERVER_ERROR = "server_error"
+    RATE_LIMITED = "rate_limited"
+    SOFT_404 = "soft_404"
+
+
+#: FetchStatus member per integer wire code (see repro.faults.STATUS_*).
+CODE_TO_STATUS = (
+    FetchStatus.OK,
+    FetchStatus.NOT_FOUND,
+    FetchStatus.EXCLUDED,
+    FetchStatus.TIMEOUT,
+    FetchStatus.SERVER_ERROR,
+    FetchStatus.RATE_LIMITED,
+    FetchStatus.SOFT_404,
+)
+
+#: Integer wire code per FetchStatus member.
+STATUS_TO_CODE = {status: code for code, status in enumerate(CODE_TO_STATUS)}
 
 
 @dataclass(frozen=True)
@@ -48,6 +81,8 @@ class FetchResult:
         version: Content version of the fetched snapshot (0 for non-OK
             fetches) — the ground truth the body was generated from, at
             the politeness-delayed fetch instant.
+        retry_after: Server-suggested retry delay in virtual days
+            (``RATE_LIMITED`` fetches only; 0 elsewhere).
     """
 
     url: str
@@ -58,6 +93,7 @@ class FetchResult:
     checksum: str = ""
     outlinks: Sequence[str] = ()
     version: int = 0
+    retry_after: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -84,6 +120,12 @@ class BatchFetchResult:
         ok: Whether each fetch succeeded (page known and alive).
         versions: Content version per URL at fetch time (valid where
             ``ok``; 0 elsewhere).
+        statuses: Integer status code per URL (see
+            ``repro.faults.STATUS_*``), or ``None`` when no fault layer is
+            configured — in that case ``ok`` fully determines the status
+            (OK vs NOT_FOUND), exactly as before faults existed.
+        retry_after: Retry-after hint per URL in virtual days (``None``
+            when no fault layer is configured).
     """
 
     urls: Sequence[str]
@@ -91,6 +133,8 @@ class BatchFetchResult:
     completed_at: np.ndarray
     ok: np.ndarray
     versions: np.ndarray
+    statuses: Optional[np.ndarray] = None
+    retry_after: Optional[np.ndarray] = None
 
 
 class SimulatedFetcher:
@@ -105,6 +149,9 @@ class SimulatedFetcher:
             processing). The default corresponds to roughly 2 seconds per
             page, i.e. about 43,000 pages per virtual day for a single
             crawl process.
+        faults: Optional fault layer; when given, fetches of known URLs may
+            resolve to transient statuses and latency may be inflated, all
+            as pure functions of ``(url, site, request_time, seed)``.
     """
 
     def __init__(
@@ -113,12 +160,14 @@ class SimulatedFetcher:
         politeness: Optional[PolitenessPolicy] = None,
         robots: Optional[RobotsRules] = None,
         latency_days: float = 2.0 / 86400.0,
+        faults: Optional[FaultLayer] = None,
     ) -> None:
         if latency_days < 0:
             raise ValueError("latency_days must be non-negative")
         self._web = web
         self._politeness = politeness
         self._robots = robots
+        self._faults = faults
         self.latency_days = latency_days
         self._fetch_count = 0
 
@@ -144,6 +193,16 @@ class SimulatedFetcher:
         """The politeness policy, if one is configured (read-only access
         for the batched crawl engine, which resolves delays in bulk)."""
         return self._politeness
+
+    @property
+    def faults(self) -> Optional[FaultLayer]:
+        """The fault layer, if one is configured (read-only access for the
+        failure-aware crawl engine, which predicts statuses per slot)."""
+        return self._faults
+
+    def site_of(self, url: str) -> Optional[str]:
+        """The owning site id of ``url`` (``None`` if the web doesn't know it)."""
+        return self._site_id_of(url)
 
     def fetch(self, url: str, at: float) -> FetchResult:
         """Fetch ``url`` at virtual time ``at``.
@@ -173,13 +232,44 @@ class SimulatedFetcher:
         if self._politeness is not None and site_id is not None:
             start = self._politeness.earliest_allowed(site_id, at)
             self._politeness.record_request(site_id, start)
-        completed = min(start + self.latency_days, self._web.horizon_days)
+        latency = self.latency_days
+        code = STATUS_OK
+        retry_after = 0.0
+        if self._faults is not None:
+            # Faults are a function of the *request* time, and the scalar
+            # path delegates to the vectorized resolution on a batch of one,
+            # so scalar and batched fetches agree bit for bit.
+            if self._faults.has_latency_models:
+                latency = latency * self._faults.latency_factor_one(at)
+            if site_id is not None and self._faults.has_status_models:
+                code, retry_after = self._faults.resolve_one(url, site_id, at)
+        completed = min(start + latency, self._web.horizon_days)
         self._fetch_count += 1
+        if STATUS_TIMEOUT <= code <= STATUS_RATE_LIMITED:
+            # Hard transient fault: the fetch never reached the page, so the
+            # oracle is not consulted — the status says nothing about
+            # whether the page exists.
+            return FetchResult(
+                url=url,
+                status=CODE_TO_STATUS[code],
+                requested_at=at,
+                completed_at=completed,
+                retry_after=retry_after,
+            )
         snapshot = self._web.snapshot(url, min(start, self._web.horizon_days))
         if snapshot is None:
             return FetchResult(
                 url=url,
                 status=FetchStatus.NOT_FOUND,
+                requested_at=at,
+                completed_at=completed,
+            )
+        if code == STATUS_SOFT_404:
+            # The page is alive but served an error body: a false deletion
+            # signal, reported distinctly so the engine can ignore it.
+            return FetchResult(
+                url=url,
+                status=FetchStatus.SOFT_404,
                 requested_at=at,
                 completed_at=completed,
             )
@@ -243,24 +333,43 @@ class SimulatedFetcher:
         horizon = self._web.horizon_days
         arrays = self._web.oracle_arrays()
         ids, known = arrays.lookup(urls)
-        if resolved_at is not None:
-            starts = np.asarray(resolved_at, dtype=float)
-        elif self._politeness is not None:
+        faults = self._faults
+        with_faults = faults is not None and faults.has_status_models
+        sites = None
+        if with_faults or (self._politeness is not None and resolved_at is None):
             site_table = arrays.site_ids
             sites = [
                 site_table[page_id] if page_id >= 0 else None
                 for page_id in ids.tolist()
             ]
+        if resolved_at is not None:
+            starts = np.asarray(resolved_at, dtype=float)
+        elif self._politeness is not None:
             starts = self._politeness.earliest_allowed_many(sites, requested)
             self._politeness.record_requests(sites, starts)
         else:
             starts = requested
+        latency = self.latency_days
+        if faults is not None and faults.has_latency_models:
+            latency = latency * faults.latency_factors(requested)
         snapshot_times = np.minimum(starts, horizon)
         ok = known.copy()
         if known.any():
             ok[known] = arrays.exists(ids[known], snapshot_times[known])
-        completed = np.minimum(starts + self.latency_days, horizon)
+        completed = np.minimum(starts + latency, horizon)
         self._fetch_count += len(urls)
+        statuses = None
+        retry_after = None
+        if with_faults:
+            codes, retry_after = faults.resolve(urls, sites, requested)
+            codes[~known] = 0
+            retry_after[~known] = 0.0
+            statuses = np.where(ok, STATUS_OK, STATUS_NOT_FOUND)
+            hard = (codes >= STATUS_TIMEOUT) & (codes <= STATUS_RATE_LIMITED)
+            statuses[hard] = codes[hard]
+            soft = ok & (codes == STATUS_SOFT_404)
+            statuses[soft] = STATUS_SOFT_404
+            ok = statuses == STATUS_OK
         versions = np.zeros(len(urls), dtype=np.int64)
         if ok.any():
             versions[ok] = arrays.versions(ids[ok], snapshot_times[ok])
@@ -270,6 +379,8 @@ class SimulatedFetcher:
             completed_at=completed,
             ok=ok,
             versions=versions,
+            statuses=statuses,
+            retry_after=retry_after,
         )
 
     def _fetch_many_scalar(
@@ -280,10 +391,18 @@ class SimulatedFetcher:
         completed = np.empty(n, dtype=float)
         ok = np.zeros(n, dtype=bool)
         versions = np.zeros(n, dtype=np.int64)
+        statuses = None
+        retry_after = None
+        if self._faults is not None and self._faults.has_status_models:
+            statuses = np.zeros(n, dtype=np.int64)
+            retry_after = np.zeros(n, dtype=float)
         for i, (url, at) in enumerate(zip(urls, requested)):
             result = self.fetch(url, float(at))
             completed[i] = result.completed_at
             ok[i] = result.ok
+            if statuses is not None:
+                statuses[i] = STATUS_TO_CODE[result.status]
+                retry_after[i] = result.retry_after
             if result.ok:
                 # The snapshot's own version: with politeness configured
                 # the fetch happens later than requested, and the version
@@ -295,6 +414,8 @@ class SimulatedFetcher:
             completed_at=completed,
             ok=ok,
             versions=versions,
+            statuses=statuses,
+            retry_after=retry_after,
         )
 
     def content_for(self, url: str, version: int) -> Tuple[str, str]:

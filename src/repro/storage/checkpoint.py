@@ -21,7 +21,9 @@ checkpoint's collection image.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, TYPE_CHECKING
+import hashlib
+import json
+from typing import Callable, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
 from repro.storage.backends import ChangeEvent, StorageBackend
 from repro.storage.records import PageRecord
@@ -32,6 +34,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports storage
 
 #: Backend state key under which crawl checkpoints are stored.
 CHECKPOINT_STATE_KEY = "checkpoint"
+#: Backend state key holding the *previous* good checkpoint. Kept one save
+#: behind the current one so a corrupted latest snapshot (detected by its
+#: integrity checksum) still leaves a verified state to resume from.
+CHECKPOINT_PREV_STATE_KEY = "checkpoint_prev"
 #: Backend state key under which a completed run's result is stored.
 RESULT_STATE_KEY = "result"
 #: Version stamp of the checkpoint document layout. Format 2 added the
@@ -55,6 +61,20 @@ def namespaced_state_key(namespace: Optional[str], key: str) -> str:
     if "/" in namespace:
         raise ValueError(f"namespace {namespace!r} must not contain '/'")
     return f"{namespace}/{key}"
+
+
+def checkpoint_integrity(state: Mapping) -> str:
+    """Integrity checksum of a checkpoint document.
+
+    The sha256 of the state's canonical JSON (sorted keys, no whitespace),
+    with the ``integrity`` field itself excluded. Doubles survive a JSON
+    round trip exactly, so a checkpoint saved and reloaded through any
+    backend recomputes to the same digest — any difference means the stored
+    bytes were damaged.
+    """
+    payload = {key: value for key, value in state.items() if key != "integrity"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class CollectionJournal:
@@ -166,8 +186,12 @@ class CrawlCheckpointer:
         self.every_days = every_days
         self.spec_hash = spec_hash
         self._state_key = namespaced_state_key(namespace, CHECKPOINT_STATE_KEY)
+        self._prev_key = namespaced_state_key(namespace, CHECKPOINT_PREV_STATE_KEY)
         self.saves = 0
         self._last_saved: Optional[float] = None
+        # The last state this checkpointer saved or loaded; demoted to the
+        # previous-good slot on the next save.
+        self._last_state: Optional[dict] = None
         #: Optional test/observer hook called with each saved state dict.
         self.on_save: Optional[Callable[[dict], None]] = None
 
@@ -189,16 +213,59 @@ class CrawlCheckpointer:
         """
         if self.spec_hash is not None:
             state["spec_hash"] = self.spec_hash
+        state["integrity"] = checkpoint_integrity(state)
+        if self._last_state is not None:
+            # Demote the last good snapshot before overwriting the current
+            # slot: whatever instant a crash hits, at least one of the two
+            # slots holds a complete, verified checkpoint.
+            self.backend.save_state(self._prev_key, self._last_state)
         self.backend.save_state(self._state_key, state)
         self.backend.flush()
+        self._last_state = state
         self._last_saved = at
         self.saves += 1
         if self.on_save is not None:
             self.on_save(state)
 
+    def _load_verified(self, key: str) -> Tuple[Optional[dict], Optional[str]]:
+        """Load one checkpoint slot and verify its integrity checksum.
+
+        Returns ``(state, None)`` for a good checkpoint, ``(None, None)``
+        for an empty slot, and ``(None, reason)`` for a corrupt one
+        (unreadable bytes or checksum mismatch). Checkpoints written before
+        the checksum existed carry no ``integrity`` field and are accepted
+        as-is.
+        """
+        try:
+            state = self.backend.load_state(key)
+        except Exception as error:
+            return None, f"unreadable checkpoint state: {error}"
+        if state is None:
+            return None, None
+        expected = state.get("integrity")
+        if expected is not None and checkpoint_integrity(state) != expected:
+            return None, "integrity checksum mismatch"
+        return state, None
+
     def load(self) -> Optional[dict]:
-        """The most recent checkpoint, or ``None`` when none was saved."""
-        state = self.backend.load_state(self._state_key)
+        """The most recent *good* checkpoint, or ``None`` when none exists.
+
+        The current slot is verified against its integrity checksum; on
+        corruption the load falls back to the previous good snapshot
+        (resuming from it is bit-identical to having crashed one
+        checkpoint earlier). Only when both slots are corrupt does the
+        load raise.
+        """
+        state, error = self._load_verified(self._state_key)
+        if state is None and error is not None:
+            fallback, fallback_error = self._load_verified(self._prev_key)
+            if fallback is None:
+                detail = f"; previous snapshot: {fallback_error}" if fallback_error \
+                    else "; no previous snapshot is available"
+                raise ValueError(
+                    f"checkpoint is corrupt ({error}){detail}"
+                )
+            state = fallback
         if state is None:
             return None
         if self.spec_hash is not None:
@@ -208,4 +275,5 @@ class CrawlCheckpointer:
                     "checkpoint was written by a different spec "
                     f"(stored {stored_hash[:12]}..., expected {self.spec_hash[:12]}...)"
                 )
+        self._last_state = state
         return state
